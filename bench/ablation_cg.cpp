@@ -1,0 +1,61 @@
+// Ablation: the clock-gating feature ladder of Sec. IV-D — no p2 gating,
+// +common-enable gating, +M1 cells, +M2 latch removal, +multi-bit DDCG —
+// measured by total and clock-network power.
+//
+//   $ ./bench/ablation_cg [cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+namespace {
+
+struct Config {
+  const char* label;
+  bool common_enable;
+  bool m1;
+  bool m2;
+  bool ddcg;
+};
+
+constexpr Config kConfigs[] = {
+    {"none", false, false, false, false},
+    {"+commonEN", true, false, false, false},
+    {"+M1", true, true, false, false},
+    {"+M2", true, true, true, false},
+    {"+DDCG (full)", true, true, true, true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t cycles =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::printf("Clock-gating feature ladder (3-phase designs)\n");
+  for (const auto& name : {"s35932", "SHA256", "Plasma", "ArmM0"}) {
+    const circuits::Benchmark bench = circuits::make_benchmark(name);
+    const Stimulus stim = circuits::make_stimulus(
+        bench, circuits::Workload::kPaperDefault, cycles, 7);
+    std::printf("\n%s:\n", name);
+    std::printf("  %-14s %9s %9s %8s %8s\n", "config", "clk mW", "total mW",
+                "p2gated", "ddcg");
+    for (const Config& config : kConfigs) {
+      FlowOptions options;
+      options.p2_common_enable_cg = config.common_enable;
+      options.use_m1 = config.m1;
+      options.use_m2 = config.m2;
+      options.ddcg = config.ddcg;
+      const FlowResult r =
+          run_flow(bench, DesignStyle::kThreePhase, stim, options);
+      std::printf("  %-14s %9.3f %9.3f %8d %8d\n", config.label,
+                  r.power.clock_mw, r.power.total_mw(),
+                  r.p2_gating.p2_latches_gated, r.ddcg.latches_gated);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension bench: non-uniform 3-phase schedules (SMO optimal clocking).
+// For each converted design, sweeps the p1/p2 closing edges and compares
+// the best schedule's worst setup slack (and the minimum achievable period
+// under it) against the uniform-thirds default the conversion uses.
+//
+//   $ ./bench/ablation_phase_split
+#include <cstdio>
+
+#include "src/circuits/benchmark.hpp"
+#include "src/phase/schedule.hpp"
+#include "src/timing/sta.hpp"
+#include "src/transform/buffering.hpp"
+#include "src/transform/clock_gating.hpp"
+#include "src/transform/convert.hpp"
+#include "src/retime/retime.hpp"
+
+using namespace tp;
+
+int main() {
+  const CellLibrary& lib = CellLibrary::nominal_28nm();
+  std::printf("Phase-schedule exploration (worst setup slack, ps)\n\n");
+  std::printf("%-8s | %9s | %9s %6s %6s | %11s %11s\n", "design",
+              "uniform", "best", "e1/Tc", "e2/Tc", "Tmin uniform",
+              "Tmin best");
+  for (const auto& name : {"s5378", "s9234", "s13207", "SHA256", "Plasma",
+                           "ArmM0"}) {
+    circuits::Benchmark bench = circuits::make_benchmark(name);
+    infer_clock_gating(bench.netlist);
+    buffer_high_fanout(bench.netlist);
+    ThreePhaseResult converted = to_three_phase(bench.netlist);
+    retime_inserted_latches(converted.netlist, lib);
+
+    const ScheduleExploration e =
+        explore_phase_schedule(converted.netlist, lib, 12);
+    const double period = static_cast<double>(
+        converted.netlist.clocks().period_ps);
+
+    // Minimum period under each schedule (same relative edges).
+    Netlist uniform = converted.netlist;
+    apply_phase_schedule(uniform, converted.netlist.clocks().period_ps / 3,
+                         2 * converted.netlist.clocks().period_ps / 3);
+    const std::int64_t tmin_uniform = min_period_ps(
+        uniform, lib, converted.netlist.clocks().period_ps / 4,
+        2 * converted.netlist.clocks().period_ps);
+    Netlist best = converted.netlist;
+    apply_phase_schedule(best, e.best.e1_ps, e.best.e2_ps);
+    const std::int64_t tmin_best = min_period_ps(
+        best, lib, converted.netlist.clocks().period_ps / 4,
+        2 * converted.netlist.clocks().period_ps);
+
+    std::printf("%-8s | %9.0f | %9.0f %6.2f %6.2f | %11lld %11lld\n", name,
+                e.uniform.worst_setup_slack_ps,
+                e.best.worst_setup_slack_ps,
+                static_cast<double>(e.best.e1_ps) / period,
+                static_cast<double>(e.best.e2_ps) / period,
+                static_cast<long long>(tmin_uniform),
+                static_cast<long long>(tmin_best));
+    std::fflush(stdout);
+  }
+  std::printf("\nNon-uniform closing edges trade borrowing windows between "
+              "segments; the conversion's uniform thirds are rarely "
+              "optimal.\n");
+  return 0;
+}

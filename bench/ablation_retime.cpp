@@ -1,0 +1,43 @@
+// Ablation: the modified retiming of Sec. IV-C on/off — latch counts (the
+// min-cut merges reconvergent p2 latches), worst setup slack (moves close
+// half-stage violations), and total power.
+//
+//   $ ./bench/ablation_retime [cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+int main(int argc, char** argv) {
+  const std::size_t cycles =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::printf("Modified-retiming ablation (3-phase designs)\n\n");
+  std::printf("%-8s | %9s %9s %7s | %10s %10s | %9s %9s\n", "design",
+              "regs off", "regs on", "moved", "slack off", "slack on",
+              "mW off", "mW on");
+  for (const auto& name : {"s5378", "s13207", "s35932", "SHA256", "Plasma",
+                           "RISCV", "ArmM0"}) {
+    const circuits::Benchmark bench = circuits::make_benchmark(name);
+    const Stimulus stim = circuits::make_stimulus(
+        bench, circuits::Workload::kPaperDefault, cycles, 7);
+    FlowOptions off;
+    off.retime = false;
+    const FlowResult without = run_flow(bench, DesignStyle::kThreePhase,
+                                        stim, off);
+    const FlowResult with = run_flow(bench, DesignStyle::kThreePhase, stim);
+    std::printf("%-8s | %9d %9d %7d | %9.0f %9.0f | %9.3f %9.3f\n", name,
+                without.registers, with.registers, with.retime.moved,
+                without.timing.worst_setup_slack_ps,
+                with.timing.worst_setup_slack_ps,
+                without.power.total_mw(), with.power.total_mw());
+    std::fflush(stdout);
+  }
+  std::printf("\n(The paper observes that retiming latch-based designs can "
+              "also grow combinational area; negative 'slack off' rows show "
+              "why the step is mandatory.)\n");
+  return 0;
+}

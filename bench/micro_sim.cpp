@@ -1,0 +1,52 @@
+// Micro-benchmarks (google-benchmark): gate-level simulator throughput on
+// the benchmark circuits (cycles per second drives how fast the power/
+// validation half of the flow runs).
+#include <benchmark/benchmark.h>
+
+#include "src/circuits/workload.hpp"
+#include "src/transform/clock_gating.hpp"
+#include "src/transform/convert.hpp"
+#include "src/sim/stimulus.hpp"
+
+namespace tp {
+namespace {
+
+void BM_SimulateFf(benchmark::State& state, const char* name) {
+  circuits::Benchmark bench = circuits::make_benchmark(name);
+  infer_clock_gating(bench.netlist);
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 32, 7);
+  Simulator sim(bench.netlist);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stream(sim, stim, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stim.size()));
+}
+BENCHMARK_CAPTURE(BM_SimulateFf, s13207, "s13207");
+BENCHMARK_CAPTURE(BM_SimulateFf, s35932, "s35932");
+BENCHMARK_CAPTURE(BM_SimulateFf, SHA256, "SHA256");
+BENCHMARK_CAPTURE(BM_SimulateFf, Plasma, "Plasma");
+
+void BM_SimulateThreePhase(benchmark::State& state, const char* name) {
+  circuits::Benchmark bench = circuits::make_benchmark(name);
+  infer_clock_gating(bench.netlist);
+  const ThreePhaseResult converted = to_three_phase(bench.netlist);
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 32, 7);
+  SimOptions options;
+  options.snapshot_event = 1;
+  Simulator sim(converted.netlist, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stream(sim, stim, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stim.size()));
+}
+BENCHMARK_CAPTURE(BM_SimulateThreePhase, s13207, "s13207");
+BENCHMARK_CAPTURE(BM_SimulateThreePhase, Plasma, "Plasma");
+
+}  // namespace
+}  // namespace tp
+
+BENCHMARK_MAIN();

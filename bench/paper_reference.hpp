@@ -1,0 +1,55 @@
+// Reference values from the paper (Cheng et al., DATE 2020) used by the
+// bench binaries to print paper-vs-measured comparisons.
+//
+// Table I: number of registers and total area (um^2).
+// Table II: power (mW) split into Clock / Seq / Comb / Total.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace tp::bench {
+
+struct PaperRow {
+  const char* name;
+  // Table I.
+  int ff_regs, ms_regs, p3_regs;
+  double ff_area, ms_area, p3_area;
+  // Table II totals.
+  double ff_power, ms_power, p3_power;
+};
+
+inline constexpr PaperRow kPaperRows[] = {
+    {"s1196", 18, 36, 26, 240, 228, 219, 0.30, 0.32, 0.28},
+    {"s1238", 18, 36, 26, 238, 229, 215, 0.29, 0.32, 0.27},
+    {"s1423", 81, 158, 146, 591, 466, 524, 0.82, 0.63, 0.75},
+    {"s1488", 6, 16, 12, 217, 232, 239, 0.17, 0.19, 0.17},
+    {"s5378", 163, 317, 250, 930, 914, 0, 1.44, 1.34, 1.13},
+    {"s9234", 140, 278, 225, 902, 752, 741, 0.89, 0.78, 0.73},
+    {"s13207", 457, 890, 725, 2675, 2058, 2056, 2.89, 2.69, 2.21},
+    {"s15850", 454, 904, 747, 2885, 2565, 2315, 2.98, 2.87, 2.47},
+    {"s35932", 1728, 3456, 2737, 11770, 9356, 9054, 18.50, 16.80, 14.00},
+    {"s38417", 1489, 2751, 2366, 9395, 7272, 7863, 9.26, 8.62, 7.24},
+    {"s38584", 1319, 2633, 2422, 9355, 7683, 7961, 14.50, 13.30, 13.70},
+    {"AES", 9715, 16829, 12871, 133115, 121960, 119174, 19.10, 14.50, 8.27},
+    {"DES3", 436, 842, 573, 2711, 2738, 2449, 0.91, 0.74, 0.72},
+    {"SHA256", 1574, 3308, 2523, 9996, 9461, 8594, 0.31, 0.42, 0.30},
+    {"MD5", 804, 1889, 996, 7023, 6630, 6947, 0.40, 1.78, 0.36},
+    {"Plasma", 1606, 2357, 2078, 8944, 7546, 8029, 1.68, 1.63, 1.36},
+    {"RISCV", 2795, 5312, 4084, 14453, 15268, 14002, 1.01, 1.25, 0.92},
+    {"ArmM0", 1397, 2713, 2290, 10690, 11007, 11514, 2.00, 2.90, 1.84},
+};
+
+inline std::optional<PaperRow> paper_row(const std::string& name) {
+  for (const PaperRow& row : kPaperRows) {
+    if (name == row.name) return row;
+  }
+  return std::nullopt;
+}
+
+/// Percentage saving of b relative to a: 100 * (a - b) / a.
+inline double save_pct(double a, double b) {
+  return a > 0 ? 100.0 * (a - b) / a : 0.0;
+}
+
+}  // namespace tp::bench

@@ -1,0 +1,67 @@
+// Reproduces Table I: number of registers (FFs or latches) and total area
+// in the FF, master-slave, and 3-phase designs, with savings of the 3-phase
+// design relative to 2x the FF count and to the master-slave count. Paper
+// reference values are printed alongside each measured row.
+//
+//   $ ./bench/table1_regs_area [cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/paper_reference.hpp"
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+int main(int argc, char** argv) {
+  const std::size_t cycles =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::printf("Table I — registers and total area (paper values in "
+              "parentheses)\n\n");
+  std::printf("%-8s | %6s %6s %6s | save%%2FF save%%MS | %9s %9s %9s | "
+              "saveFF saveMS\n",
+              "design", "FF", "M-S", "3-P", "areaFF", "areaMS", "area3P");
+
+  double sum_save_2ff = 0, sum_save_ms = 0, sum_area_ff = 0, sum_area_ms = 0;
+  int rows = 0;
+  for (const auto& name : circuits::benchmark_names()) {
+    const circuits::Benchmark bench = circuits::make_benchmark(name);
+    const Stimulus stim = circuits::make_stimulus(
+        bench, circuits::Workload::kPaperDefault, cycles, 7);
+    const FlowResult ff = run_flow(bench, DesignStyle::kFlipFlop, stim);
+    const FlowResult ms = run_flow(bench, DesignStyle::kMasterSlave, stim);
+    const FlowResult p3 = run_flow(bench, DesignStyle::kThreePhase, stim);
+
+    const double save_2ff =
+        bench::save_pct(2.0 * ff.registers, p3.registers);
+    const double save_ms = bench::save_pct(ms.registers, p3.registers);
+    const auto paper = bench::paper_row(name);
+    std::printf("%-8s | %6d %6d %6d | %7.1f %7.1f | %9.0f %9.0f %9.0f | "
+                "%+5.1f%% %+5.1f%%",
+                name.c_str(), ff.registers, ms.registers, p3.registers,
+                save_2ff, save_ms, ff.area_um2, ms.area_um2, p3.area_um2,
+                bench::save_pct(ff.area_um2, p3.area_um2),
+                bench::save_pct(ms.area_um2, p3.area_um2));
+    if (paper) {
+      std::printf("   (paper regs %d/%d/%d, save %.1f%%/%.1f%%)",
+                  paper->ff_regs, paper->ms_regs, paper->p3_regs,
+                  bench::save_pct(2.0 * paper->ff_regs, paper->p3_regs),
+                  bench::save_pct(paper->ms_regs, paper->p3_regs));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    sum_save_2ff += save_2ff;
+    sum_save_ms += save_ms;
+    sum_area_ff += bench::save_pct(ff.area_um2, p3.area_um2);
+    sum_area_ms += bench::save_pct(ms.area_um2, p3.area_um2);
+    ++rows;
+  }
+  std::printf("\nAverage register saving: %.1f%% vs 2xFF (paper 22.4%%), "
+              "%.1f%% vs M-S (paper 21.3%%)\n",
+              sum_save_2ff / rows, sum_save_ms / rows);
+  std::printf("Average area saving:     %.1f%% vs FF (paper 11.0%%), "
+              "%.1f%% vs M-S (paper 0.8%%)\n",
+              sum_area_ff / rows, sum_area_ms / rows);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table II: power dissipation (mW) decomposed into Clock / Seq /
+// Comb / Total for the FF, master-slave, and 3-phase designs, with the
+// 3-phase savings relative to both baselines. Paper totals are printed
+// alongside.
+//
+//   $ ./bench/table2_power [cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/paper_reference.hpp"
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+namespace {
+
+void print_power(const char* label, const PowerBreakdown& p) {
+  std::printf("  %-4s clock %7.3f  seq %7.3f  comb %7.3f  total %7.3f\n",
+              label, p.clock_mw, p.seq_mw, p.comb_mw, p.total_mw());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t cycles =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::printf("Table II — power dissipation (mW)\n");
+
+  double sum_ff = 0, sum_ms = 0;
+  double group_save_ff[3] = {0, 0, 0};
+  int rows = 0;
+  for (const auto& name : circuits::benchmark_names()) {
+    const circuits::Benchmark bench = circuits::make_benchmark(name);
+    const Stimulus stim = circuits::make_stimulus(
+        bench, circuits::Workload::kPaperDefault, cycles, 7);
+    const FlowResult ff = run_flow(bench, DesignStyle::kFlipFlop, stim);
+    const FlowResult ms = run_flow(bench, DesignStyle::kMasterSlave, stim);
+    const FlowResult p3 = run_flow(bench, DesignStyle::kThreePhase, stim);
+
+    const double save_ff =
+        bench::save_pct(ff.power.total_mw(), p3.power.total_mw());
+    const double save_ms =
+        bench::save_pct(ms.power.total_mw(), p3.power.total_mw());
+    std::printf("\n%s (workload \"%s\"):\n", name.c_str(),
+                bench.paper_workload.c_str());
+    print_power("FF", ff.power);
+    print_power("M-S", ms.power);
+    print_power("3-P", p3.power);
+    std::printf("  3-P saves %+5.1f%% vs FF, %+5.1f%% vs M-S", save_ff,
+                save_ms);
+    if (const auto paper = bench::paper_row(name)) {
+      std::printf("   (paper: %+.1f%% vs FF, %+.1f%% vs M-S)",
+                  bench::save_pct(paper->ff_power, paper->p3_power),
+                  bench::save_pct(paper->ms_power, paper->p3_power));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    sum_ff += save_ff;
+    sum_ms += save_ms;
+    group_save_ff[0] += bench::save_pct(ff.power.clock_mw, p3.power.clock_mw);
+    group_save_ff[1] += bench::save_pct(ff.power.seq_mw, p3.power.seq_mw);
+    group_save_ff[2] += bench::save_pct(ff.power.comb_mw, p3.power.comb_mw);
+    ++rows;
+  }
+  std::printf("\nAverage 3-P total power saving: %+.1f%% vs FF "
+              "(paper +15.5%%), %+.1f%% vs M-S (paper +18.5%%)\n",
+              sum_ff / rows, sum_ms / rows);
+  std::printf("Average 3-P group savings vs FF: clock %+.1f%% (paper "
+              "+13.8%%), seq %+.1f%% (paper +6.6%%), comb %+.1f%% (paper "
+              "+15.2%%)\n",
+              group_save_ff[0] / rows, group_save_ff[1] / rows,
+              group_save_ff[2] / rows);
+  return 0;
+}

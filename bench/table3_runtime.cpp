@@ -1,0 +1,59 @@
+// Reproduces the paper's run-time discussion (Sec. V): per-step wall-clock
+// decomposition of the three flows. The paper reports the 3-phase flow at
+// +204% vs FF and +44% vs M-S overall, with the ILP solver below 1% of the
+// total (<= 27 s with Gurobi) and clock-tree synthesis roughly 3x because
+// three trees are routed.
+//
+//   $ ./bench/table3_runtime [cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+int main(int argc, char** argv) {
+  const std::size_t cycles =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 96;
+  std::printf("Run-time decomposition (seconds)\n\n");
+  std::printf("%-8s %-4s %8s %8s %8s %8s %8s %8s %8s %8s\n", "design",
+              "style", "synth", "ilp", "convert", "retime", "cg", "place",
+              "cts", "total");
+  double total[3] = {0, 0, 0};
+  double ilp_total = 0, cts_total[3] = {0, 0, 0};
+  for (const auto& name : {"s13207", "s35932", "SHA256", "Plasma",
+                           "RISCV"}) {
+    const circuits::Benchmark bench = circuits::make_benchmark(name);
+    const Stimulus stim = circuits::make_stimulus(
+        bench, circuits::Workload::kPaperDefault, cycles, 7);
+    int i = 0;
+    for (const DesignStyle style :
+         {DesignStyle::kFlipFlop, DesignStyle::kMasterSlave,
+          DesignStyle::kThreePhase}) {
+      const FlowResult r = run_flow(bench, style, stim);
+      const StepTimes& t = r.times;
+      std::printf("%-8s %-4s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f "
+                  "%8.3f\n",
+                  name, std::string(style_name(style)).c_str(),
+                  t.synthesis_s, t.ilp_s, t.convert_s, t.retime_s,
+                  t.clock_gating_s, t.place_s, t.cts_s, t.total_s());
+      std::fflush(stdout);
+      total[i] += t.total_s();
+      cts_total[i] += t.cts_s;
+      if (style == DesignStyle::kThreePhase) ilp_total += t.ilp_s;
+      ++i;
+    }
+  }
+  std::printf("\n3-phase flow run time: %+.0f%% vs FF (paper +204%%), "
+              "%+.0f%% vs M-S (paper +44%%)\n",
+              100.0 * (total[2] - total[0]) / total[0],
+              100.0 * (total[2] - total[1]) / total[1]);
+  std::printf("ILP share of the 3-phase flow: %.1f%% (paper < 1%%)\n",
+              100.0 * ilp_total / total[2]);
+  std::printf("3-phase CTS vs FF CTS: %.1fx (paper ~3x, three clock "
+              "trees)\n",
+              cts_total[0] > 0 ? cts_total[2] / cts_total[0] : 0.0);
+  return 0;
+}

@@ -1,0 +1,192 @@
+// flow_cli — command-line front end to the conversion flow.
+//
+// Convert a built-in benchmark (or a structural-Verilog netlist using the
+// TP_* cell library) to any of the supported design styles, report
+// registers / area / timing / power, and optionally export the result:
+//
+//   $ ./examples/flow_cli --circuit Plasma --style 3p --out plasma_3p.v
+//   $ ./examples/flow_cli --in mydesign.v --style ms --report
+//   $ ./examples/flow_cli --circuit s5378 --style 3p --no-retime --no-ddcg
+//   $ ./examples/flow_cli --list
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+#include "src/netlist/stats.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/timing/report.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--circuit NAME | --in FILE.v] [options]\n"
+      "  --circuit NAME     built-in benchmark (see --list)\n"
+      "  --in FILE.v        structural Verilog netlist (TP_* cells)\n"
+      "  --style ff|ms|3p   target design style (default 3p)\n"
+      "  --workload W       paper|dhrystone|coremark (default paper)\n"
+      "  --cycles N         simulated cycles (default 192)\n"
+      "  --out FILE.v       write the converted netlist\n"
+      "  --greedy           use the greedy phase heuristic (not the ILP)\n"
+      "  --no-retime --no-cg --no-m1 --no-m2 --no-ddcg\n"
+      "  --stats            print structural statistics\n"
+      "  --profile          print the slack profile/histogram\n"
+      "  --dot FILE.dot     write the register graph (Graphviz)\n"
+      "  --enabled-style    synthesize enables as muxes (Fig. 2(a))\n"
+      "  --list             list built-in benchmarks\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit, in_file, out_file, dot_file;
+  bool show_stats = false, show_profile = false;
+  std::string style_text = "3p";
+  std::string workload_text = "paper";
+  std::size_t cycles = 192;
+  FlowOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--circuit") {
+      circuit = value();
+    } else if (arg == "--in") {
+      in_file = value();
+    } else if (arg == "--style") {
+      style_text = value();
+    } else if (arg == "--workload") {
+      workload_text = value();
+    } else if (arg == "--cycles") {
+      cycles = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--out") {
+      out_file = value();
+    } else if (arg == "--greedy") {
+      options.assign.method = AssignMethod::kGreedy;
+    } else if (arg == "--no-retime") {
+      options.retime = false;
+    } else if (arg == "--no-cg") {
+      options.p2_common_enable_cg = false;
+    } else if (arg == "--no-m1") {
+      options.use_m1 = false;
+    } else if (arg == "--no-m2") {
+      options.use_m2 = false;
+    } else if (arg == "--no-ddcg") {
+      options.ddcg = false;
+    } else if (arg == "--enabled-style") {
+      options.synthesis_cg.style = CgStyle::kEnabled;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--profile") {
+      show_profile = true;
+    } else if (arg == "--dot") {
+      dot_file = value();
+    } else if (arg == "--list") {
+      for (const auto& name : circuits::benchmark_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  DesignStyle style;
+  if (style_text == "ff") {
+    style = DesignStyle::kFlipFlop;
+  } else if (style_text == "ms") {
+    style = DesignStyle::kMasterSlave;
+  } else if (style_text == "3p") {
+    style = DesignStyle::kThreePhase;
+  } else {
+    return usage(argv[0]);
+  }
+
+  circuits::Workload workload = circuits::Workload::kPaperDefault;
+  if (workload_text == "dhrystone") workload = circuits::Workload::kDhrystone;
+  else if (workload_text == "coremark") workload = circuits::Workload::kCoremark;
+  else if (workload_text != "paper") return usage(argv[0]);
+
+  try {
+    circuits::Benchmark bench{"custom", "custom", Netlist("custom"), 0, ""};
+    if (!circuit.empty()) {
+      bench = circuits::make_benchmark(circuit);
+    } else if (!in_file.empty()) {
+      std::ifstream in(in_file);
+      require(in.good(), "cannot open " + in_file);
+      bench.netlist = read_verilog(in);
+      bench.name = bench.netlist.name();
+      bench.period_ps = bench.netlist.clocks().period_ps;
+      require(bench.period_ps > 0,
+              "netlist carries no tp-clock directive (clock plan unknown)");
+    } else {
+      return usage(argv[0]);
+    }
+
+    const Stimulus stim =
+        circuits::make_stimulus(bench, workload, cycles, 7);
+    const FlowResult r = run_flow(bench, style, stim, options);
+
+    std::printf("%s -> %s\n", bench.name.c_str(),
+                std::string(style_name(style)).c_str());
+    std::printf("  registers        %d\n", r.registers);
+    std::printf("  area             %.0f um2\n", r.area_um2);
+    std::printf("  power            %.3f mW (clock %.3f, seq %.3f, comb "
+                "%.3f)\n",
+                r.power.total_mw(), r.power.clock_mw, r.power.seq_mw,
+                r.power.comb_mw);
+    std::printf("  timing           setup %s (%.0f ps), hold %s (%.0f ps)\n",
+                r.timing.setup_ok ? "OK" : "FAIL",
+                r.timing.worst_setup_slack_ps,
+                r.timing.hold_ok ? "OK" : "FAIL",
+                r.timing.worst_hold_slack_ps);
+    if (style == DesignStyle::kThreePhase) {
+      std::printf("  inserted p2      %d (retimed %d, merged to %d)\n",
+                  r.inserted_p2, r.retime.moved, r.retime.latches_after);
+      std::printf("  clock gating     %d common-enable, %d DDCG, M2 %d/%d\n",
+                  r.p2_gating.p2_latches_gated, r.ddcg.latches_gated,
+                  r.m2.converted, r.m2.converted + r.m2.kept);
+      std::printf("  flow run time    %.2f s (ILP %.3f s)\n",
+                  r.times.total_s(), r.times.ilp_s);
+    }
+    if (show_stats) {
+      std::printf("\n%s", format_stats(compute_stats(r.netlist)).c_str());
+    }
+    if (show_profile) {
+      std::printf("\n%s",
+                  format_profile(
+                      profile_timing(r.netlist, CellLibrary::nominal_28nm()),
+                      10)
+                      .c_str());
+    }
+    if (!dot_file.empty()) {
+      std::ofstream dot(dot_file);
+      write_register_graph_dot(r.netlist, dot);
+      std::printf("  wrote            %s\n", dot_file.c_str());
+    }
+    if (!out_file.empty()) {
+      std::ofstream out(out_file);
+      write_verilog(r.netlist, out);
+      std::printf("  wrote            %s\n", out_file.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "src/circuits/benchmark.hpp"
+
+#include <algorithm>
+
+#include "src/util/strcat.hpp"
+
+namespace tp::circuits {
+namespace {
+
+struct Entry {
+  const char* name;
+  const char* suite;
+  std::int64_t period_ps;
+  const char* workload;
+};
+
+// Table I/II order; frequencies per Sec. V (ISCAS 1 GHz, CEP and Plasma
+// 500 MHz, RISC-V and ARM-M0 333.3 MHz).
+constexpr Entry kEntries[] = {
+    {"s1196", "ISCAS", 1000, "pseudo-random"},
+    {"s1238", "ISCAS", 1000, "pseudo-random"},
+    {"s1423", "ISCAS", 1000, "pseudo-random"},
+    {"s1488", "ISCAS", 1000, "pseudo-random"},
+    {"s5378", "ISCAS", 1000, "pseudo-random"},
+    {"s9234", "ISCAS", 1000, "pseudo-random"},
+    {"s13207", "ISCAS", 1000, "pseudo-random"},
+    {"s15850", "ISCAS", 1000, "pseudo-random"},
+    {"s35932", "ISCAS", 1000, "pseudo-random"},
+    {"s38417", "ISCAS", 1000, "pseudo-random"},
+    {"s38584", "ISCAS", 1000, "pseudo-random"},
+    {"AES", "CEP", 2000, "self-check"},
+    {"DES3", "CEP", 2000, "self-check"},
+    {"SHA256", "CEP", 2000, "self-check"},
+    {"MD5", "CEP", 2000, "self-check"},
+    {"Plasma", "CPU", 2000, "pi"},
+    {"RISCV", "CPU", 3000, "rv32ui-v-simple"},
+    {"ArmM0", "CPU", 3000, "hello world"},
+};
+
+}  // namespace
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const Entry& e : kEntries) v.emplace_back(e.name);
+    return v;
+  }();
+  return names;
+}
+
+Benchmark make_benchmark(const std::string& name) {
+  const auto it =
+      std::find_if(std::begin(kEntries), std::end(kEntries),
+                   [&](const Entry& e) { return name == e.name; });
+  require(it != std::end(kEntries), cat("unknown benchmark ", name));
+  Benchmark benchmark{.name = it->name,
+                      .suite = it->suite,
+                      .netlist = Netlist(it->name),
+                      .period_ps = it->period_ps,
+                      .paper_workload = it->workload};
+  if (benchmark.suite == "ISCAS") {
+    benchmark.netlist = make_iscas(name, it->period_ps);
+  } else if (benchmark.suite == "CEP") {
+    benchmark.netlist = make_cep(name, it->period_ps);
+  } else {
+    benchmark.netlist = make_cpu(name, it->period_ps);
+  }
+  return benchmark;
+}
+
+}  // namespace tp::circuits

@@ -1,0 +1,40 @@
+// Benchmark registry: synthetic equivalents of the paper's evaluation
+// circuits (Sec. V).
+//
+// The original RTL (ISCAS89, MIT-LL CEP, Plasma/Rocket/Cortex-M0) is not
+// redistributable or requires commercial synthesis, so each benchmark is a
+// deterministic structural generator tuned to the paper's reported register
+// count and to the structural profile that drives the conversion results:
+// the fraction of FFs with combinational feedback (control), in pipeline
+// chains (datapath), and in independent/enable-gated banks (storage).
+// Clock frequencies follow the paper: ISCAS at 1 GHz, CEP and Plasma at
+// 500 MHz, RISC-V and ARM-M0 at 333.3 MHz.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp::circuits {
+
+struct Benchmark {
+  std::string name;
+  std::string suite;  // "ISCAS", "CEP", "CPU"
+  Netlist netlist;    // FF-based design, kDffEn for enables (pre-synthesis)
+  std::int64_t period_ps = 0;
+  std::string paper_workload;  // stimulus the paper used for this circuit
+};
+
+/// All 18 benchmark names in Table I/II order.
+const std::vector<std::string>& benchmark_names();
+
+/// Builds a benchmark by name; throws tp::Error for unknown names.
+Benchmark make_benchmark(const std::string& name);
+
+// Per-suite generators (exposed for tests).
+Netlist make_iscas(const std::string& name, std::int64_t period_ps);
+Netlist make_cep(const std::string& name, std::int64_t period_ps);
+Netlist make_cpu(const std::string& name, std::int64_t period_ps);
+
+}  // namespace tp::circuits

@@ -1,0 +1,229 @@
+// CPU-class generators: Plasma-like 3-stage MIPS, Rocket-like RISC-V, and
+// Cortex-M0-like cores.
+//
+// The structures that matter for the conversion are reproduced:
+//   - a register file of enable-gated FFs written from the writeback stage
+//     and read into the execute stage (no edges among the file's FFs, so
+//     the ILP converts nearly all of them to single latches — the source of
+//     the CPUs' headline register savings);
+//   - pipeline registers with stall enables;
+//   - a PC with increment/branch feedback and a small control FSM
+//     (genuine combinational feedback, forcing back-to-back latches);
+//   - forwarding muxes and a ripple ALU for realistic path depth;
+//   - ARM-M0 adds a CPSR-style flags loop (ALU -> flags -> ALU), which is
+//     why the paper reports its savings below the other cores'.
+#include "src/circuits/benchmark.hpp"
+#include <bit>
+
+#include "src/circuits/builder.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::circuits {
+namespace {
+
+struct CpuProfile {
+  int xlen;          // datapath width
+  int regfile_words;
+  int pipe_stages;   // pipeline register banks between stages
+  int pipe_width;    // width per pipeline bank
+  int csr_bank;      // extra enable-gated storage (CSRs, counters)
+  int flags;         // ALU flags loop (0 = none)
+  int fsm;           // control FSM bits
+};
+
+CpuProfile profile_for(const std::string& name) {
+  // Register totals tuned to Table I:
+  //   total = xlen (PC) + regfile_words * xlen + pipe_stages * pipe_width
+  //           + csr_bank + flags + fsm
+  if (name == "Plasma") {
+    // 22 + 32 (PC) + 32 (IR) + 1024 + 64 (ID/EX) + 2 * 208 + 16 = 1606
+    return {.xlen = 32, .regfile_words = 32, .pipe_stages = 2,
+            .pipe_width = 208, .csr_bank = 16, .flags = 0, .fsm = 22};
+  }
+  if (name == "RISCV") {
+    // 27 + 32 (PC) + 32 (IR) + 1024 + 64 (ID/EX) + 4 * 300 + 416 = 2795
+    return {.xlen = 32, .regfile_words = 32, .pipe_stages = 4,
+            .pipe_width = 300, .csr_bank = 416, .flags = 0, .fsm = 27};
+  }
+  if (name == "ArmM0") {
+    // 17 + 32 (PC) + 32 (IR) + 512 + 64 (ID/EX) + 2 * 320 + 96 + 4 = 1397
+    return {.xlen = 32, .regfile_words = 16, .pipe_stages = 2,
+            .pipe_width = 320, .csr_bank = 96, .flags = 4, .fsm = 17};
+  }
+  throw Error(cat("unknown CPU ", name));
+}
+
+}  // namespace
+
+Netlist make_cpu(const std::string& name, std::int64_t period_ps) {
+  const CpuProfile p = profile_for(name);
+  Netlist nl(name);
+  const CellId clk = nl.add_input("clk");
+  nl.set_clock_root(clk, Phase::kClk);
+  nl.clocks() = single_phase_spec(period_ps, nl.cell(clk).out);
+  Rng rng(0xC9C ^ std::hash<std::string>{}(name));
+  Builder b(nl, nl.cell(clk).out, rng);
+
+  const Bus instr = b.inputs("instr", p.xlen);
+  const Bus mem_rdata = b.inputs("mem_rdata", p.xlen);
+  const NetId irq = nl.cell(nl.add_input("irq")).out;
+
+  // --- control FSM (feedback cluster) + stall ------------------------------
+  Bus fsm_seed(static_cast<std::size_t>(p.fsm), irq);
+  std::vector<CellId> fsm_regs;
+  Bus fsm_q;
+  for (int i = 0; i < p.fsm; ++i) {
+    const NetId q = nl.add_net(cat("ctrl", i));
+    fsm_regs.push_back(nl.add_cell(CellKind::kDff, cat("ctrl", i),
+                                   {fsm_seed[static_cast<std::size_t>(i)],
+                                    b.clk()},
+                                   q, Phase::kClk));
+    fsm_q.push_back(q);
+  }
+  Bus fsm_src = fsm_q;
+  fsm_src.push_back(irq);
+  for (int i = 0; i < 4; ++i) {
+    fsm_src.push_back(instr[rng.below(instr.size())]);
+  }
+  const Bus fsm_next = b.random_cloud("ctrl_ns", fsm_src, p.fsm * 4, p.fsm);
+  for (int i = 0; i < p.fsm; ++i) {
+    nl.replace_input(fsm_regs[static_cast<std::size_t>(i)], 0,
+                     fsm_next[static_cast<std::size_t>(i)]);
+  }
+  const NetId stall = b.gate(CellKind::kNor2, "stall", {fsm_q[0], fsm_q[1]});
+  const NetId run = b.gate(CellKind::kInv, "run", {stall});
+
+  // --- fetch: PC with increment / branch feedback --------------------------
+  std::vector<CellId> pc_regs;
+  Bus pc;
+  for (int i = 0; i < p.xlen; ++i) {
+    const NetId q = nl.add_net(cat("pc", i));
+    pc_regs.push_back(nl.add_cell(CellKind::kDffEn, cat("pc", i),
+                                  {instr[static_cast<std::size_t>(i)], run,
+                                   b.clk()},
+                                  q, Phase::kClk));
+    pc.push_back(q);
+  }
+  const Bus pc_inc = b.incrementer("pc_inc", pc);
+  const NetId take_branch =
+      b.gate(CellKind::kAnd2, "take_branch", {fsm_q[2 % p.fsm], run});
+  const Bus pc_next = b.mux("pc_mux", pc_inc, instr, take_branch);
+  for (int i = 0; i < p.xlen; ++i) {
+    nl.replace_input(pc_regs[static_cast<std::size_t>(i)], 0,
+                     pc_next[static_cast<std::size_t>(i)]);
+  }
+
+  // --- decode: instruction register + regfile read --------------------------
+  const Bus ir = b.ff_bank_en("ir", instr, run);
+  Bus rd_addr(ir.begin(), ir.begin() + 5);
+  while (rd_addr.size() >
+         static_cast<std::size_t>(std::bit_width(
+             static_cast<unsigned>(p.regfile_words)) - 1)) {
+    rd_addr.pop_back();
+  }
+  const Bus wsel = b.decoder("rf_dec", rd_addr);
+
+  // --- register file: one enable-gated word per decoder line ----------------
+  // Writeback data is wired after the pipeline exists (placeholder first).
+  std::vector<std::vector<CellId>> rf_regs(static_cast<std::size_t>(
+      p.regfile_words));
+  std::vector<Bus> rf_q(static_cast<std::size_t>(p.regfile_words));
+  for (int w = 0; w < p.regfile_words; ++w) {
+    const NetId we = b.gate(CellKind::kAnd2, cat("rf_we", w),
+                            {wsel[static_cast<std::size_t>(w)], run});
+    for (int i = 0; i < p.xlen; ++i) {
+      const NetId q = nl.add_net(cat("rf", w, "_", i));
+      rf_regs[static_cast<std::size_t>(w)].push_back(
+          nl.add_cell(CellKind::kDffEn, cat("rf", w, "_", i),
+                      {mem_rdata[static_cast<std::size_t>(i)], we, b.clk()},
+                      q, Phase::kClk));
+      rf_q[static_cast<std::size_t>(w)].push_back(q);
+    }
+  }
+  // Read ports: balanced mux trees over the file, selected by IR bits
+  // (log-depth, like a real register-file read mux).
+  auto read_port = [&](const char* port, int sel_base) {
+    std::vector<Bus> level = rf_q;
+    int stage = 0;
+    while (level.size() > 1) {
+      std::vector<Bus> next;
+      const NetId sel = ir[static_cast<std::size_t>((sel_base + stage) %
+                                                    static_cast<int>(
+                                                        ir.size()))];
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        next.push_back(b.mux(cat(port, "_", stage, "_", i), level[i],
+                             level[i + 1], sel));
+      }
+      if (level.size() % 2) next.push_back(level.back());
+      level = std::move(next);
+      ++stage;
+    }
+    return level.front();
+  };
+  const Bus rs1 = read_port("rp1", 0);
+  const Bus rs2 = read_port("rp2", 7);
+  // ID/EX pipeline registers: decode (IR + regfile read) and execute (ALU)
+  // are separate stages, as in the real cores.
+  const Bus idex_a = b.ff_bank_en("idexa", rs1, run);
+  const Bus idex_b = b.ff_bank_en("idexb", rs2, run);
+
+  // --- execute: ALU with forwarding ------------------------------------------
+  Bus alu_a = b.mux("fwd_a", idex_a, mem_rdata, fsm_q[3 % p.fsm]);
+  Bus alu_b = b.mux("fwd_b", idex_b, ir, fsm_q[4 % p.fsm]);
+  const Bus sum = b.adder("alu_add", alu_a, alu_b);
+  const Bus logic = b.bitwise(CellKind::kXor2, "alu_xor", alu_a, alu_b);
+  Bus alu = b.mux("alu_sel", sum, logic, ir[5 % ir.size()]);
+
+  // ARM-M0 style flags loop: ALU -> flags register -> ALU select.
+  if (p.flags > 0) {
+    Bus flag_d;
+    flag_d.push_back(b.xor_reduce("flag_z", alu));
+    flag_d.push_back(alu.back());
+    flag_d.push_back(b.gate(CellKind::kAnd2, "flag_c",
+                            {sum.back(), alu_a.back()}));
+    flag_d.push_back(b.gate(CellKind::kXor2, "flag_v",
+                            {sum.back(), alu_b.back()}));
+    flag_d.resize(static_cast<std::size_t>(p.flags), flag_d[0]);
+    const Bus flags = b.ff_bank("cpsr", flag_d);
+    alu = b.mux("flag_mux", alu, Builder::rotate(alu, 1), flags[0]);
+  }
+
+  // --- pipeline registers (stall-enabled) ------------------------------------
+  Bus stage = alu;
+  for (int s = 0; s < p.pipe_stages; ++s) {
+    // Pad/trim the bank to pipe_width with recent logic taps.
+    Bus d = stage;
+    while (static_cast<int>(d.size()) < p.pipe_width) {
+      d.push_back(stage[rng.below(stage.size())]);
+    }
+    d.resize(static_cast<std::size_t>(p.pipe_width));
+    stage = b.ff_bank_en(cat("pipe", s), d, run);
+    // Per-stage logic between banks.
+    stage = b.mix_layer(cat("pipe", s, "_logic"), stage, 4);
+  }
+
+  // --- CSRs / counters: enable-gated storage ---------------------------------
+  Bus csr;
+  for (int i = 0; i < p.csr_bank; ++i) {
+    const NetId q = nl.add_net(cat("csr", i));
+    nl.add_cell(CellKind::kDffEn, cat("csr", i),
+                {stage[static_cast<std::size_t>(i) % stage.size()],
+                 fsm_q[static_cast<std::size_t>(i) % fsm_q.size()], b.clk()},
+                q, Phase::kClk);
+    csr.push_back(q);
+  }
+
+  // --- outputs ---------------------------------------------------------------
+  b.outputs("mem_addr", Bus(pc.begin(), pc.end()));
+  Bus dout(stage.begin(),
+           stage.begin() + std::min<std::size_t>(stage.size(), 32));
+  for (std::size_t i = 0; i < dout.size() && i < csr.size(); ++i) {
+    dout[i] = b.gate(CellKind::kXor2, cat("dout_mix", i),
+                     {dout[i], csr[i]});
+  }
+  b.outputs("mem_wdata", dout);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace tp::circuits

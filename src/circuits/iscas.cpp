@@ -1,0 +1,163 @@
+// ISCAS89-class generators.
+//
+// Each circuit mixes three register populations whose proportions are tuned
+// per circuit to reproduce the paper's structural observations (e.g. s1488
+// is a re-synthesized controller dominated by FFs with combinational
+// feedback and gains nothing from the conversion, while the larger circuits
+// are datapath-heavy):
+//   - control clusters: small FSMs whose next-state logic feeds back on the
+//     cluster (self-loops and short cycles);
+//   - datapath chains: shift-like pipelines with light logic per stage;
+//   - independent registers: PI-loaded staging registers with no FF-to-FF
+//     edges.
+#include "src/circuits/benchmark.hpp"
+#include "src/circuits/builder.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::circuits {
+namespace {
+
+struct IscasProfile {
+  int ffs;
+  int pis;
+  int pos;
+  double control = 0.3;      // fraction of FFs in feedback clusters
+  double chain = 0.5;        // fraction in pipeline chains
+  int cluster_size = 6;      // FFs per FSM cluster
+  int chain_depth = 5;       // stages per datapath chain
+  int gates_per_ff = 4;      // sizing of the random logic
+  std::uint64_t seed = 0x15CA5;
+};
+
+IscasProfile profile_for(const std::string& name) {
+  // Register counts follow Table I; PI/PO counts the ISCAS89 suite.
+  if (name == "s1196") return {.ffs = 18, .pis = 14, .pos = 14,
+                               .control = 0.30, .chain = 0.40};
+  if (name == "s1238") return {.ffs = 18, .pis = 14, .pos = 14,
+                               .control = 0.32, .chain = 0.40};
+  if (name == "s1423") return {.ffs = 81, .pis = 17, .pos = 5,
+                               .control = 0.62, .chain = 0.30,
+                               .chain_depth = 8};
+  if (name == "s1488") return {.ffs = 6, .pis = 8, .pos = 19,
+                               .control = 1.0, .chain = 0.0,
+                               .cluster_size = 6, .gates_per_ff = 40};
+  if (name == "s5378") return {.ffs = 163, .pis = 35, .pos = 49,
+                               .control = 0.28, .chain = 0.45};
+  if (name == "s9234") return {.ffs = 140, .pis = 36, .pos = 39,
+                               .control = 0.35, .chain = 0.40};
+  if (name == "s13207") return {.ffs = 457, .pis = 62, .pos = 152,
+                                .control = 0.30, .chain = 0.45};
+  if (name == "s15850") return {.ffs = 454, .pis = 77, .pos = 150,
+                                .control = 0.35, .chain = 0.40};
+  if (name == "s35932") return {.ffs = 1728, .pis = 35, .pos = 320,
+                                .control = 0.12, .chain = 0.55,
+                                .chain_depth = 6};
+  if (name == "s38417") return {.ffs = 1489, .pis = 28, .pos = 106,
+                                .control = 0.25, .chain = 0.45};
+  if (name == "s38584") return {.ffs = 1319, .pis = 38, .pos = 304,
+                                .control = 0.55, .chain = 0.30};
+  throw Error(cat("unknown ISCAS circuit ", name));
+}
+
+}  // namespace
+
+Netlist make_iscas(const std::string& name, std::int64_t period_ps) {
+  const IscasProfile p = profile_for(name);
+  Netlist nl(name);
+  const CellId clk = nl.add_input("clk");
+  nl.set_clock_root(clk, Phase::kClk);
+  nl.clocks() = single_phase_spec(period_ps, nl.cell(clk).out);
+  Rng rng(p.seed ^ std::hash<std::string>{}(name));
+  Builder b(nl, nl.cell(clk).out, rng);
+
+  const Bus pis = b.inputs("pi", p.pis);
+  Bus taps = pis;  // nets available as logic sources / PO candidates
+
+  int remaining = p.ffs;
+  const int control_ffs = static_cast<int>(p.control * p.ffs);
+  const int chain_ffs = static_cast<int>(p.chain * p.ffs);
+
+  // Control clusters: next_state = mix(cluster state, a few inputs).
+  int cluster_index = 0;
+  for (int built = 0; built < control_ffs; ++cluster_index) {
+    const int size = std::min(p.cluster_size, control_ffs - built);
+    // Bootstrap the cluster with placeholder D inputs, then rewire to its
+    // own next-state logic to create the feedback.
+    Bus seed_d;
+    for (int i = 0; i < size; ++i) {
+      seed_d.push_back(taps[rng.below(taps.size())]);
+    }
+    const std::string prefix = cat("fsm", cluster_index);
+    Bus state;
+    std::vector<CellId> regs;
+    for (int i = 0; i < size; ++i) {
+      const NetId q = nl.add_net(cat(prefix, "_q", i));
+      regs.push_back(nl.add_cell(CellKind::kDff, cat(prefix, "_q", i),
+                                 {seed_d[static_cast<std::size_t>(i)],
+                                  b.clk()},
+                                 q, Phase::kClk));
+      state.push_back(q);
+    }
+    Bus sources = state;
+    for (int i = 0; i < 3; ++i) sources.push_back(taps[rng.below(taps.size())]);
+    // FSM next-state logic is shallow in real controllers; depth 8 also
+    // keeps the back-to-back p2/p3 windows of converted control clusters
+    // feasible at 1 GHz.
+    const Bus next = b.random_cloud(cat(prefix, "_ns"), sources,
+                                    size * p.gates_per_ff / 2, size,
+                                    /*max_depth=*/8);
+    for (int i = 0; i < size; ++i) {
+      nl.replace_input(regs[static_cast<std::size_t>(i)], 0,
+                       next[static_cast<std::size_t>(i)]);
+    }
+    taps.insert(taps.end(), state.begin(), state.end());
+    built += size;
+    remaining -= size;
+  }
+
+  // Datapath chains: several logic levels per stage (real ISCAS circuits
+  // average ~8 gates and 10+ levels per register), so that glitch
+  // propagation and retiming are meaningful.
+  int chain_index = 0;
+  for (int built = 0; built < chain_ffs; ++chain_index) {
+    const int depth = std::min(p.chain_depth, chain_ffs - built);
+    NetId d = taps[rng.below(taps.size())];
+    for (int s = 0; s < depth; ++s) {
+      const std::string stage = cat("ch", chain_index, "_", s);
+      if (s > 0) {
+        Bus stage_in{d};
+        for (int t = 0; t < 3; ++t) {
+          stage_in.push_back(taps[rng.below(taps.size())]);
+        }
+        const Bus stage_out = b.random_cloud(
+            stage + "_l", stage_in, p.gates_per_ff, 1, /*max_depth=*/8);
+        d = stage_out.front();
+      }
+      const NetId q = nl.add_net(stage);
+      nl.add_cell(CellKind::kDff, stage, {d, b.clk()}, q, Phase::kClk);
+      d = q;
+      taps.push_back(q);
+    }
+    built += depth;
+    remaining -= depth;
+  }
+
+  // Independent staging registers loaded straight from PIs.
+  for (int i = 0; i < remaining; ++i) {
+    const std::string name_i = cat("st", i);
+    const NetId q = nl.add_net(name_i);
+    nl.add_cell(CellKind::kDff, name_i,
+                {pis[rng.below(pis.size())], b.clk()}, q, Phase::kClk);
+    taps.push_back(q);
+  }
+
+  // Output cones over the accumulated sources.
+  const Bus po_nets = b.random_cloud("po_logic", taps,
+                                     p.ffs * p.gates_per_ff / 2,
+                                     p.pos);
+  b.outputs("po", po_nets);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace tp::circuits

@@ -1,0 +1,102 @@
+#include "src/circuits/workload.hpp"
+
+#include <algorithm>
+
+namespace tp::circuits {
+namespace {
+
+/// One stimulus phase: `cycles` cycles with the given input toggle
+/// probability and enable-style duty (probability that control inputs —
+/// the last few PIs, e.g. load_key/start/irq — are held active).
+struct Phase {
+  std::size_t cycles;
+  double toggle;
+  double control_duty;
+};
+
+Stimulus phased_stimulus(std::size_t num_inputs, std::size_t num_controls,
+                         const std::vector<Phase>& phases,
+                         std::size_t total_cycles, std::uint64_t seed) {
+  Rng rng(seed);
+  Stimulus stimulus;
+  std::vector<std::uint8_t> current(num_inputs, 0);
+  for (auto& v : current) v = rng.chance(0.5) ? 1 : 0;
+  std::size_t phase_index = 0;
+  std::size_t in_phase = 0;
+  while (stimulus.size() < total_cycles) {
+    const Phase& phase = phases[phase_index % phases.size()];
+    for (std::size_t i = 0; i + num_controls < num_inputs; ++i) {
+      if (rng.chance(phase.toggle)) current[i] ^= 1;
+    }
+    for (std::size_t c = 0; c < num_controls && c < num_inputs; ++c) {
+      current[num_inputs - 1 - c] =
+          rng.chance(phase.control_duty) ? 1 : 0;
+    }
+    stimulus.push_back(current);
+    if (++in_phase >= phase.cycles) {
+      in_phase = 0;
+      ++phase_index;
+    }
+  }
+  return stimulus;
+}
+
+}  // namespace
+
+std::string_view workload_name(Workload workload) {
+  switch (workload) {
+    case Workload::kPaperDefault: return "paper-default";
+    case Workload::kDhrystone: return "dhrystone";
+    case Workload::kCoremark: return "coremark";
+  }
+  return "?";
+}
+
+Stimulus make_stimulus(const Benchmark& benchmark, Workload workload,
+                       std::size_t cycles, std::uint64_t seed) {
+  const std::size_t inputs = benchmark.netlist.data_inputs().size();
+  const std::uint64_t s = seed ^ std::hash<std::string>{}(benchmark.name);
+
+  if (workload == Workload::kDhrystone) {
+    // Steady integer loop: high, very regular activity; few stalls.
+    return phased_stimulus(inputs, 1,
+                           {{64, 0.45, 0.05}, {8, 0.30, 0.10}}, cycles, s);
+  }
+  if (workload == Workload::kCoremark) {
+    // Mixed kernels: list processing (moderate), matrix (high), state
+    // machine (low), separated by setup phases.
+    return phased_stimulus(inputs, 1,
+                           {{48, 0.30, 0.08},
+                            {48, 0.55, 0.04},
+                            {32, 0.12, 0.20},
+                            {16, 0.40, 0.10}},
+                           cycles, s);
+  }
+
+  // Paper defaults by suite.
+  if (benchmark.suite == "ISCAS") {
+    // Auto-generated pseudo-random input streams. The per-input toggle
+    // rate is kept at a realistic 20% of cycles; a full 50% stream would
+    // make combinational switching drown the clock network, which carries
+    // the bulk of the power in the paper's Table II.
+    Rng rng(s);
+    return random_stimulus(inputs, cycles, rng, 0.2);
+  }
+  if (benchmark.suite == "CEP") {
+    // Self-check programs: key-load bursts followed by encryption bursts
+    // and verification idles (the 2 control inputs are load_key/start).
+    return phased_stimulus(inputs, 2,
+                           {{8, 0.50, 0.9},    // load vectors
+                            {40, 0.45, 0.15},  // crunch
+                            {16, 0.05, 0.02}}, // check/idle
+                           cycles, s);
+  }
+  // CPU testbench programs ("pi", "rv32ui-v-simple", "hello world"):
+  // bursty instruction streams with idle waits.
+  return phased_stimulus(inputs, 1,
+                         {{40, 0.35, 0.06}, {24, 0.10, 0.12},
+                          {32, 0.30, 0.05}},
+                         cycles, s);
+}
+
+}  // namespace tp::circuits

@@ -1,0 +1,30 @@
+// Workload stimulus generators.
+//
+// The paper drives each circuit with a specific program (Sec. V, footnote):
+// pseudo-random streams for ISCAS, the CEP self-check programs, "pi" for
+// Plasma, "rv32ui-v-simple" for RISC-V, "hello world" for ARM-M0, and —
+// for Fig. 4 — Dhrystone and Coremark on the two cores. Without the
+// original binaries, each workload becomes an activity profile: a phased
+// toggle-probability schedule over the primary inputs (instruction-bus
+// bursts, load/idle windows, enable duty cycles) that reproduces the
+// workload's switching character rather than its semantics.
+#pragma once
+
+#include "src/circuits/benchmark.hpp"
+#include "src/sim/stimulus.hpp"
+
+namespace tp::circuits {
+
+enum class Workload {
+  kPaperDefault,  // the per-circuit program named in the paper
+  kDhrystone,     // steady integer loop: high, regular activity
+  kCoremark,      // mixed kernels: alternating high/low phases
+};
+
+std::string_view workload_name(Workload workload);
+
+/// Builds a stimulus of `cycles` cycles for the benchmark's data inputs.
+Stimulus make_stimulus(const Benchmark& benchmark, Workload workload,
+                       std::size_t cycles, std::uint64_t seed = 1);
+
+}  // namespace tp::circuits

@@ -1,0 +1,176 @@
+#include "src/flow/flow.hpp"
+
+#include "src/netlist/traverse.hpp"
+#include "src/place/placer.hpp"
+
+namespace tp::flow {
+namespace {
+
+/// Retiming with timing-closure iteration: when a cut leaves a setup
+/// violation (upstream borrowing eats into the half-stage budgets), retry
+/// on a pristine copy with progressively conservative settings — larger
+/// margins, then worst-case full-borrowing launch seeds.
+RetimeResult retime_with_closure(Netlist& netlist,
+                                 const CellLibrary& library, Phase movable,
+                                 const TimingOptions& timing) {
+  struct Attempt {
+    double margin;
+    bool full_borrowing;
+  };
+  const Netlist pristine = netlist;
+  RetimeResult result;
+  for (const Attempt attempt : {Attempt{120, false}, Attempt{300, false},
+                                Attempt{120, true}, Attempt{500, true}}) {
+    netlist = pristine;
+    result = retime_inserted_latches(
+        netlist, library,
+        {.movable_phase = movable,
+         .margin_ps = attempt.margin,
+         .assume_full_borrowing = attempt.full_borrowing});
+    if (check_timing(netlist, library, timing).setup_ok) break;
+  }
+  return result;
+}
+
+/// Simulates the netlist under `stimulus`, returning outputs and leaving
+/// the activity in `activity_out`.
+OutputStream simulate(const Netlist& netlist, const Stimulus& stimulus,
+                      std::size_t warmup, ActivityStats* activity_out) {
+  SimOptions options;
+  options.snapshot_event = netlist.clocks().phases.size() == 3 ? 1 : 0;
+  Simulator sim(netlist, options);
+  OutputStream stream = run_stream(sim, stimulus, warmup);
+  if (activity_out) *activity_out = sim.stats();
+  return stream;
+}
+
+}  // namespace
+
+std::string_view style_name(DesignStyle style) {
+  switch (style) {
+    case DesignStyle::kFlipFlop: return "FF";
+    case DesignStyle::kMasterSlave: return "M-S";
+    case DesignStyle::kThreePhase: return "3-P";
+    case DesignStyle::kPulsedLatch: return "P-L";
+  }
+  return "?";
+}
+
+FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
+                    const Stimulus& stimulus, const FlowOptions& options) {
+  const CellLibrary& library = CellLibrary::nominal_28nm();
+  FlowResult result;
+  result.style = style;
+  Stopwatch step;
+
+  // 1. "Synthesis": lower enables to the configured clock-gating style.
+  Netlist netlist = benchmark.netlist;
+  result.synthesis_cg = infer_clock_gating(netlist, options.synthesis_cg);
+  result.buffering = buffer_high_fanout(netlist, options.buffering);
+  result.times.synthesis_s = step.seconds();
+  step.reset();
+
+  // 2. Conversion.
+  switch (style) {
+    case DesignStyle::kFlipFlop:
+      result.times.convert_s = step.seconds();
+      break;
+    case DesignStyle::kPulsedLatch: {
+      PulsedLatchResult converted =
+          to_pulsed_latch(netlist, options.pulsed_latch);
+      netlist = std::move(converted.netlist);
+      result.pulse_generators = converted.pulse_generators;
+      result.times.convert_s = step.seconds();
+      break;
+    }
+    case DesignStyle::kMasterSlave: {
+      netlist = to_master_slave(netlist);
+      result.times.convert_s = step.seconds();
+      step.reset();
+      if (options.retime && options.retime_master_slave) {
+        result.retime = retime_with_closure(netlist, library, Phase::kClk,
+                                            options.timing);
+      }
+      result.times.retime_s = step.seconds();
+      break;
+    }
+    case DesignStyle::kThreePhase: {
+      // ILP timed apart from the netlist rebuild (the paper reports the
+      // solver at < 1% of total run time).
+      const RegisterGraph graph = build_register_graph(netlist);
+      result.assignment = assign_phases(graph, options.assign);
+      result.times.ilp_s = step.seconds();
+      step.reset();
+
+      ThreePhaseOptions convert_options;
+      convert_options.precomputed = &result.assignment;
+      ThreePhaseResult converted = to_three_phase(netlist, convert_options);
+      netlist = std::move(converted.netlist);
+      result.inserted_p2 = converted.inserted_p2;
+      result.duplicated_icgs = converted.duplicated_icgs;
+      result.times.convert_s = step.seconds();
+      step.reset();
+
+      if (options.retime) {
+        result.retime = retime_with_closure(netlist, library, Phase::kP2,
+                                            options.timing);
+      }
+      result.times.retime_s = step.seconds();
+      step.reset();
+
+      if (options.p2_common_enable_cg) {
+        result.p2_gating =
+            gate_p2_latches(netlist, {.use_m1 = options.use_m1});
+      }
+      if (options.use_m2) result.m2 = apply_m2(netlist);
+      if (options.ddcg) {
+        // DDCG needs switching activity of this very netlist (Sec. V:
+        // gate-level simulations drive the data-driven clock gating).
+        ActivityStats activity;
+        simulate(netlist, stimulus, options.warmup_cycles, &activity);
+        result.ddcg = apply_ddcg(netlist, activity, options.ddcg_options);
+      }
+      result.times.clock_gating_s = step.seconds();
+      break;
+    }
+  }
+  step.reset();
+
+  // 3. Timing signoff and hold repair.
+  if (options.hold_repair) {
+    result.hold = repair_hold(netlist, library, options.timing);
+  }
+  result.timing = check_timing(netlist, library, options.timing);
+  result.times.timing_s = step.seconds();
+  step.reset();
+
+  // 4. Physical design: place, then one clock tree per phase.
+  const Placement placement = place(netlist, library, options.place);
+  result.times.place_s = step.seconds();
+  step.reset();
+  const ClockTreeReport clock_tree =
+      synthesize_clock_trees(netlist, placement, options.cts);
+  result.times.cts_s = step.seconds();
+  step.reset();
+
+  // 5. Gate-level simulation: validation stream + power activity.
+  ActivityStats activity;
+  result.outputs =
+      simulate(netlist, stimulus, options.warmup_cycles, &activity);
+  result.times.sim_s = step.seconds();
+
+  // 6. Metrics.
+  result.registers = static_cast<int>(netlist.registers().size());
+  result.area_um2 = library.total_area_um2(netlist) +
+                    clock_tree.buffer_area_um2(library);
+  result.power =
+      compute_power(netlist, library, activity, &placement, &clock_tree);
+  result.netlist = std::move(netlist);
+  return result;
+}
+
+bool equivalent(const FlowResult& a, const FlowResult& b) {
+  return streams_equal(a.outputs, b.outputs);
+}
+
+}  // namespace tp::flow

@@ -1,0 +1,111 @@
+// End-to-end design flows (Sec. IV-B): the public entry point of the
+// library.
+//
+// run_flow() takes an FF-based benchmark netlist and produces one of the
+// three design styles the paper compares, carrying it through synthesis
+// clock-gating inference, conversion, modified retiming, p2 clock gating
+// (common-enable with M1/M2 plus multi-bit DDCG), hold repair, placement,
+// clock-tree synthesis, gate-level simulation, and power analysis — with
+// per-step wall-clock accounting matching the paper's run-time discussion.
+//
+// The returned output stream allows direct cross-style validation
+// ("streaming inputs ... and comparing output streams", Sec. V).
+#pragma once
+
+#include <string>
+
+#include "src/circuits/benchmark.hpp"
+#include "src/cts/cts.hpp"
+#include "src/phase/assignment.hpp"
+#include "src/power/power.hpp"
+#include "src/retime/retime.hpp"
+#include "src/sim/stimulus.hpp"
+#include "src/timing/sta.hpp"
+#include "src/transform/buffering.hpp"
+#include "src/transform/clock_gating.hpp"
+#include "src/transform/convert.hpp"
+#include "src/transform/ddcg.hpp"
+#include "src/transform/p2_gating.hpp"
+#include "src/transform/pulsed_latch.hpp"
+
+namespace tp::flow {
+
+enum class DesignStyle { kFlipFlop, kMasterSlave, kThreePhase, kPulsedLatch };
+
+std::string_view style_name(DesignStyle style);
+
+struct FlowOptions {
+  CgInferenceOptions synthesis_cg;  // clock-gating style during "synthesis"
+  BufferingOptions buffering;       // high-fanout net buffering
+  AssignOptions assign;             // 3-phase phase assignment
+  bool retime = true;               // modified retiming of inserted latches
+  bool retime_master_slave = true;  // slave retiming for the M-S baseline
+  bool p2_common_enable_cg = true;
+  bool use_m1 = true;
+  bool use_m2 = true;
+  bool ddcg = true;
+  DdcgOptions ddcg_options;
+  bool hold_repair = true;
+  PulsedLatchOptions pulsed_latch;
+  TimingOptions timing;
+  PlaceOptions place;
+  CtsOptions cts;
+  std::size_t warmup_cycles = 16;
+};
+
+/// Per-step wall-clock seconds (the paper reports ILP <= 27 s and < 1% of
+/// total, CTS ~3x and routing +35% for 3-phase designs).
+struct StepTimes {
+  double synthesis_s = 0;
+  double ilp_s = 0;
+  double convert_s = 0;
+  double retime_s = 0;
+  double clock_gating_s = 0;
+  double timing_s = 0;
+  double place_s = 0;
+  double cts_s = 0;
+  double sim_s = 0;
+
+  [[nodiscard]] double total_s() const {
+    return synthesis_s + ilp_s + convert_s + retime_s + clock_gating_s +
+           timing_s + place_s + cts_s + sim_s;
+  }
+};
+
+struct FlowResult {
+  DesignStyle style = DesignStyle::kFlipFlop;
+  Netlist netlist{"empty"};
+
+  // Table I metrics.
+  int registers = 0;
+  double area_um2 = 0;
+
+  // Table II metrics.
+  PowerBreakdown power;
+
+  TimingReport timing;
+  OutputStream outputs;  // stream captured under the supplied stimulus
+  StepTimes times;
+
+  // 3-phase details.
+  PhaseAssignment assignment;
+  int inserted_p2 = 0;
+  int duplicated_icgs = 0;
+  RetimeResult retime;
+  P2GatingResult p2_gating;
+  M2Result m2;
+  DdcgResult ddcg;
+  HoldRepairResult hold;
+  CgInferenceResult synthesis_cg;
+  BufferingResult buffering;
+  int pulse_generators = 0;  // pulsed-latch style
+};
+
+/// Runs the complete flow for one style of the benchmark under `stimulus`.
+FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
+                    const Stimulus& stimulus, const FlowOptions& options = {});
+
+/// True when both results produced identical output streams.
+bool equivalent(const FlowResult& a, const FlowResult& b);
+
+}  // namespace tp::flow

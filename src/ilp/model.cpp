@@ -1,0 +1,75 @@
+#include "src/ilp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tp::ilp {
+
+VarId Model::add_binary(std::string name, double objective_coeff) {
+  const VarId id{static_cast<std::uint32_t>(obj_.size())};
+  obj_.push_back(objective_coeff);
+  var_names_.push_back(std::move(name));
+  return id;
+}
+
+ConsId Model::add_constraint(std::string name, std::vector<Term> terms,
+                             Sense sense, double rhs) {
+  // Merge duplicate variables so activity bookkeeping stays simple.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  for (const Term& t : terms) {
+    require(t.var.valid() && t.var.value() < obj_.size(),
+            "add_constraint: unknown variable");
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coeff == 0; });
+  const ConsId id{static_cast<std::uint32_t>(constraints_.size())};
+  constraints_.push_back({std::move(name), std::move(merged), sense, rhs});
+  return id;
+}
+
+void Model::fix(VarId var, bool value) {
+  add_constraint("fix_" + var_name(var), {{var, 1.0}}, Sense::kEq,
+                 value ? 1.0 : 0.0);
+}
+
+double Model::objective_value(
+    const std::vector<std::uint8_t>& assignment) const {
+  require(assignment.size() == obj_.size(),
+          "objective_value: wrong assignment size");
+  double total = 0;
+  for (std::size_t i = 0; i < obj_.size(); ++i) {
+    if (assignment[i]) total += obj_[i];
+  }
+  return total;
+}
+
+bool Model::feasible(const std::vector<std::uint8_t>& assignment,
+                     double eps) const {
+  require(assignment.size() == obj_.size(), "feasible: wrong size");
+  for (const Constraint& c : constraints_) {
+    double activity = 0;
+    for (const Term& t : c.terms) {
+      if (assignment[t.var.value()]) activity += t.coeff;
+    }
+    switch (c.sense) {
+      case Sense::kLe:
+        if (activity > c.rhs + eps) return false;
+        break;
+      case Sense::kGe:
+        if (activity < c.rhs - eps) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(activity - c.rhs) > eps) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace tp::ilp

@@ -1,0 +1,75 @@
+// 0-1 integer linear program model.
+//
+// The paper formulates phase assignment as an ILP solved with Gurobi
+// (Sec. IV-A). This module is the stand-in: a minimization model over binary
+// variables with linear <=, >=, = constraints, solved exactly by the
+// branch-and-bound solver in solver.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/ids.hpp"
+#include "src/util/log.hpp"
+
+namespace tp::ilp {
+
+struct Term {
+  VarId var;
+  double coeff = 0;
+};
+
+enum class Sense { kLe, kGe, kEq };
+
+struct Constraint {
+  std::string name;
+  std::vector<Term> terms;
+  Sense sense = Sense::kGe;
+  double rhs = 0;
+};
+
+/// Minimization model over binary variables.
+class Model {
+ public:
+  VarId add_binary(std::string name, double objective_coeff = 0);
+
+  /// Adds `sum(terms) sense rhs`. Terms with duplicate variables are merged.
+  ConsId add_constraint(std::string name, std::vector<Term> terms,
+                        Sense sense, double rhs);
+
+  /// Pins a variable to a value (encoded as an equality constraint that the
+  /// solver turns into a root fixing).
+  void fix(VarId var, bool value);
+
+  [[nodiscard]] std::size_t num_vars() const { return obj_.size(); }
+  [[nodiscard]] std::size_t num_constraints() const {
+    return constraints_.size();
+  }
+  [[nodiscard]] double objective_coeff(VarId v) const {
+    return obj_[v.value()];
+  }
+  [[nodiscard]] const std::string& var_name(VarId v) const {
+    return var_names_[v.value()];
+  }
+  [[nodiscard]] const Constraint& constraint(ConsId c) const {
+    return constraints_[c.value()];
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Objective value of a full assignment.
+  [[nodiscard]] double objective_value(
+      const std::vector<std::uint8_t>& assignment) const;
+
+  /// True when the assignment satisfies every constraint (within eps).
+  [[nodiscard]] bool feasible(const std::vector<std::uint8_t>& assignment,
+                              double eps = 1e-9) const;
+
+ private:
+  std::vector<double> obj_;
+  std::vector<std::string> var_names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace tp::ilp

@@ -1,0 +1,255 @@
+#include "src/ilp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/log.hpp"
+
+namespace tp::ilp {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Occurrence {
+  std::uint32_t cons;
+  double coeff;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const SolveOptions& options)
+      : model_(model), options_(options) {
+    const std::size_t n = model.num_vars();
+    value_.assign(n, -1);
+    occurrences_.resize(n);
+    min_act_.resize(model.num_constraints());
+    max_act_.resize(model.num_constraints());
+    free_negative_obj_ = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      free_negative_obj_ += std::min(0.0, model.objective_coeff(VarId{
+                                              static_cast<std::uint32_t>(v)}));
+    }
+    for (std::uint32_t c = 0; c < model.num_constraints(); ++c) {
+      const Constraint& cons = model.constraint(ConsId{c});
+      double lo = 0, hi = 0;
+      for (const Term& t : cons.terms) {
+        lo += std::min(0.0, t.coeff);
+        hi += std::max(0.0, t.coeff);
+        occurrences_[t.var.value()].push_back({c, t.coeff});
+      }
+      min_act_[c] = lo;
+      max_act_[c] = hi;
+    }
+  }
+
+  Solution run() {
+    Solution solution;
+    timer_.reset();
+    // Root propagation over all constraints.
+    for (std::uint32_t c = 0; c < model_.num_constraints(); ++c) {
+      dirty_.push_back(c);
+    }
+    bool ok = propagate();
+    if (ok) ok = search();
+    solution.nodes = nodes_;
+    solution.seconds = timer_.seconds();
+    if (has_incumbent_) {
+      solution.values = incumbent_;
+      solution.objective = incumbent_obj_;
+      solution.status = limits_hit_ ? SolveStatus::kFeasible
+                                    : SolveStatus::kOptimal;
+    } else {
+      solution.status =
+          limits_hit_ ? SolveStatus::kUnknown : SolveStatus::kInfeasible;
+    }
+    return solution;
+  }
+
+ private:
+  /// Fixes a variable, updates activities, and records the trail entry.
+  /// Returns false on an immediate conflict in a touched constraint.
+  bool assign(std::uint32_t var, std::int8_t val) {
+    value_[var] = val;
+    trail_.push_back(var);
+    const double obj =
+        model_.objective_coeff(VarId{var});
+    if (val == 1) fixed_obj_ += obj;
+    free_negative_obj_ -= std::min(0.0, obj);
+    for (const Occurrence& occ : occurrences_[var]) {
+      const double contribution = val ? occ.coeff : 0.0;
+      min_act_[occ.cons] += contribution - std::min(0.0, occ.coeff);
+      max_act_[occ.cons] += contribution - std::max(0.0, occ.coeff);
+      dirty_.push_back(occ.cons);
+    }
+    return true;
+  }
+
+  void undo_to(std::size_t mark) {
+    while (trail_.size() > mark) {
+      const std::uint32_t var = trail_.back();
+      trail_.pop_back();
+      const std::int8_t val = value_[var];
+      value_[var] = -1;
+      const double obj = model_.objective_coeff(VarId{var});
+      if (val == 1) fixed_obj_ -= obj;
+      free_negative_obj_ += std::min(0.0, obj);
+      for (const Occurrence& occ : occurrences_[var]) {
+        const double contribution = val ? occ.coeff : 0.0;
+        min_act_[occ.cons] -= contribution - std::min(0.0, occ.coeff);
+        max_act_[occ.cons] -= contribution - std::max(0.0, occ.coeff);
+      }
+    }
+    dirty_.clear();
+  }
+
+  [[nodiscard]] bool violated(std::uint32_t c) const {
+    const Constraint& cons = model_.constraint(ConsId{c});
+    switch (cons.sense) {
+      case Sense::kLe:
+        return min_act_[c] > cons.rhs + kEps;
+      case Sense::kGe:
+        return max_act_[c] < cons.rhs - kEps;
+      case Sense::kEq:
+        return min_act_[c] > cons.rhs + kEps ||
+               max_act_[c] < cons.rhs - kEps;
+    }
+    return false;
+  }
+
+  /// Bound-consistency propagation over the dirty queue. Returns false on
+  /// conflict.
+  bool propagate() {
+    while (!dirty_.empty()) {
+      const std::uint32_t c = dirty_.back();
+      dirty_.pop_back();
+      if (violated(c)) return false;
+      const Constraint& cons = model_.constraint(ConsId{c});
+      const bool need_ge =
+          cons.sense != Sense::kLe;  // activity must reach rhs from above
+      const bool need_le = cons.sense != Sense::kGe;
+      for (const Term& t : cons.terms) {
+        const std::uint32_t var = t.var.value();
+        if (value_[var] != -1) continue;
+        if (need_ge) {
+          // Forcing: value v would drop max below rhs -> take the other.
+          if (t.coeff > 0 && max_act_[c] - t.coeff < cons.rhs - kEps) {
+            if (!assign(var, 1)) return false;
+            continue;
+          }
+          if (t.coeff < 0 && max_act_[c] + t.coeff < cons.rhs - kEps) {
+            if (!assign(var, 0)) return false;
+            continue;
+          }
+        }
+        if (need_le) {
+          if (t.coeff > 0 && min_act_[c] + t.coeff > cons.rhs + kEps) {
+            if (!assign(var, 0)) return false;
+            continue;
+          }
+          if (t.coeff < 0 && min_act_[c] - t.coeff > cons.rhs + kEps) {
+            if (!assign(var, 1)) return false;
+            continue;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Picks the free variable with the largest influence, or -1 when all are
+  /// fixed.
+  [[nodiscard]] std::int64_t pick_branch_var() const {
+    std::int64_t best = -1;
+    double best_score = -1;
+    for (std::size_t v = 0; v < value_.size(); ++v) {
+      if (value_[v] != -1) continue;
+      const double score =
+          std::abs(model_.objective_coeff(VarId{
+              static_cast<std::uint32_t>(v)})) +
+          0.1 * static_cast<double>(occurrences_[v].size());
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<std::int64_t>(v);
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool limits_exceeded() {
+    if ((nodes_ & 1023) == 0 && timer_.seconds() > options_.time_limit_s) {
+      limits_hit_ = true;
+    }
+    if (nodes_ > options_.node_limit) limits_hit_ = true;
+    return limits_hit_;
+  }
+
+  /// DFS returning true when the subtree was fully explored (not truncated).
+  bool search() {
+    ++nodes_;
+    if (limits_exceeded()) return false;
+    // Objective bound.
+    if (has_incumbent_ &&
+        fixed_obj_ + free_negative_obj_ >= incumbent_obj_ - kEps) {
+      return true;
+    }
+    const std::int64_t var = pick_branch_var();
+    if (var < 0) {
+      // All fixed and propagation-consistent: feasible leaf.
+      std::vector<std::uint8_t> values(value_.size());
+      for (std::size_t v = 0; v < value_.size(); ++v) {
+        values[v] = static_cast<std::uint8_t>(value_[v] == 1);
+      }
+      incumbent_ = std::move(values);
+      incumbent_obj_ = fixed_obj_;
+      has_incumbent_ = true;
+      return true;
+    }
+    const double obj = model_.objective_coeff(VarId{
+        static_cast<std::uint32_t>(var)});
+    const std::int8_t first = obj >= 0 ? 0 : 1;
+    bool complete = true;
+    for (const std::int8_t val : {first, static_cast<std::int8_t>(1 - first)}) {
+      const std::size_t mark = trail_.size();
+      dirty_.clear();
+      if (assign(static_cast<std::uint32_t>(var), val) && propagate()) {
+        complete &= search();
+      }
+      undo_to(mark);
+      if (limits_hit_) return false;
+    }
+    return complete;
+  }
+
+  const Model& model_;
+  const SolveOptions& options_;
+  Stopwatch timer_;
+
+  std::vector<std::int8_t> value_;
+  std::vector<std::vector<Occurrence>> occurrences_;
+  std::vector<double> min_act_;
+  std::vector<double> max_act_;
+  std::vector<std::uint32_t> trail_;
+  std::vector<std::uint32_t> dirty_;
+
+  double fixed_obj_ = 0;
+  double free_negative_obj_ = 0;
+
+  std::vector<std::uint8_t> incumbent_;
+  double incumbent_obj_ = 0;
+  bool has_incumbent_ = false;
+  bool limits_hit_ = false;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SolveOptions& options) {
+  if (model.num_vars() == 0) {
+    Solution s;
+    s.status = SolveStatus::kOptimal;
+    return s;
+  }
+  return BranchAndBound(model, options).run();
+}
+
+}  // namespace tp::ilp

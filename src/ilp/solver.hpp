@@ -1,0 +1,42 @@
+// Exact 0-1 ILP solver: depth-first branch and bound with bound-consistency
+// propagation.
+//
+// The solver maintains, per constraint, the minimum and maximum achievable
+// activity given the current partial assignment. Propagation repeatedly
+// detects forced variables (a constraint that can only be satisfied by one
+// value of an unfixed variable) until fixpoint, then branches on the free
+// variable with the largest influence (|objective| + constraint occupancy),
+// exploring the objective-cheaper value first. The first dive doubles as a
+// greedy incumbent. Nodes are pruned against
+//   fixed objective + sum of negative free coefficients >= incumbent.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ilp/model.hpp"
+
+namespace tp::ilp {
+
+enum class SolveStatus {
+  kOptimal,     // proven optimal solution
+  kFeasible,    // feasible solution found, search truncated by limits
+  kInfeasible,  // proven infeasible
+  kUnknown,     // limits hit before any feasible solution
+};
+
+struct SolveOptions {
+  double time_limit_s = 120.0;
+  std::uint64_t node_limit = 200'000'000;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kUnknown;
+  double objective = 0;
+  std::vector<std::uint8_t> values;  // per variable, valid unless kUnknown/kInfeasible
+  std::uint64_t nodes = 0;
+  double seconds = 0;
+};
+
+Solution solve(const Model& model, const SolveOptions& options = {});
+
+}  // namespace tp::ilp

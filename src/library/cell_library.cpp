@@ -1,0 +1,158 @@
+#include "src/library/cell_library.hpp"
+
+namespace tp {
+
+CellLibrary::CellLibrary() = default;
+
+namespace {
+
+CellLibrary make_nominal_28nm() {
+  CellLibrary lib;
+  auto set = [&lib](CellKind kind, CellParams p) { lib.set_params(kind, p); };
+
+  // Interface pseudo-cells: free.
+  set(CellKind::kInput, {});
+  set(CellKind::kOutput, {.input_cap_ff = 0.6});
+  set(CellKind::kConst0, {});
+  set(CellKind::kConst1, {});
+
+  // Combinational gates.
+  set(CellKind::kBuf, {.area_um2 = 0.78, .input_cap_ff = 0.9,
+                       .intrinsic_ps = 34, .slope_ps_per_ff = 2.1,
+                       .leakage_nw = 1.2, .switch_energy_fj = 0.35});
+  set(CellKind::kInv, {.area_um2 = 0.49, .input_cap_ff = 0.9,
+                       .intrinsic_ps = 17, .slope_ps_per_ff = 1.8,
+                       .leakage_nw = 0.9, .switch_energy_fj = 0.24});
+  set(CellKind::kAnd2, {.area_um2 = 0.98, .input_cap_ff = 1.0,
+                        .intrinsic_ps = 42, .slope_ps_per_ff = 2.3,
+                        .leakage_nw = 1.6, .switch_energy_fj = 0.52});
+  set(CellKind::kAnd3, {.area_um2 = 1.22, .input_cap_ff = 1.0,
+                        .intrinsic_ps = 50, .slope_ps_per_ff = 2.5,
+                        .leakage_nw = 1.9, .switch_energy_fj = 0.62});
+  set(CellKind::kOr2, {.area_um2 = 0.98, .input_cap_ff = 1.0,
+                       .intrinsic_ps = 44, .slope_ps_per_ff = 2.3,
+                       .leakage_nw = 1.6, .switch_energy_fj = 0.52});
+  set(CellKind::kOr3, {.area_um2 = 1.22, .input_cap_ff = 1.0,
+                       .intrinsic_ps = 53, .slope_ps_per_ff = 2.5,
+                       .leakage_nw = 1.9, .switch_energy_fj = 0.62});
+  set(CellKind::kNand2, {.area_um2 = 0.78, .input_cap_ff = 1.0,
+                         .intrinsic_ps = 27, .slope_ps_per_ff = 2.0,
+                         .leakage_nw = 1.4, .switch_energy_fj = 0.40});
+  set(CellKind::kNand3, {.area_um2 = 1.08, .input_cap_ff = 1.1,
+                         .intrinsic_ps = 34, .slope_ps_per_ff = 2.3,
+                         .leakage_nw = 1.7, .switch_energy_fj = 0.50});
+  set(CellKind::kNor2, {.area_um2 = 0.78, .input_cap_ff = 1.0,
+                        .intrinsic_ps = 30, .slope_ps_per_ff = 2.2,
+                        .leakage_nw = 1.4, .switch_energy_fj = 0.42});
+  set(CellKind::kNor3, {.area_um2 = 1.08, .input_cap_ff = 1.1,
+                        .intrinsic_ps = 38, .slope_ps_per_ff = 2.5,
+                        .leakage_nw = 1.7, .switch_energy_fj = 0.52});
+  set(CellKind::kXor2, {.area_um2 = 1.47, .input_cap_ff = 1.3,
+                        .intrinsic_ps = 54, .slope_ps_per_ff = 2.7,
+                        .leakage_nw = 2.2, .switch_energy_fj = 0.88});
+  set(CellKind::kXnor2, {.area_um2 = 1.47, .input_cap_ff = 1.3,
+                         .intrinsic_ps = 55, .slope_ps_per_ff = 2.7,
+                         .leakage_nw = 2.2, .switch_energy_fj = 0.88});
+  set(CellKind::kMux2, {.area_um2 = 1.57, .input_cap_ff = 1.1,
+                        .intrinsic_ps = 49, .slope_ps_per_ff = 2.6,
+                        .leakage_nw = 2.0, .switch_energy_fj = 0.80});
+  set(CellKind::kAoi21, {.area_um2 = 1.18, .input_cap_ff = 1.1,
+                         .intrinsic_ps = 37, .slope_ps_per_ff = 2.4,
+                         .leakage_nw = 1.8, .switch_energy_fj = 0.55});
+  set(CellKind::kOai21, {.area_um2 = 1.18, .input_cap_ff = 1.1,
+                         .intrinsic_ps = 38, .slope_ps_per_ff = 2.4,
+                         .leakage_nw = 1.8, .switch_energy_fj = 0.55});
+  set(CellKind::kMaj3, {.area_um2 = 1.76, .input_cap_ff = 1.2,
+                        .intrinsic_ps = 58, .slope_ps_per_ff = 2.8,
+                        .leakage_nw = 2.4, .switch_energy_fj = 0.98});
+
+  // Sequential cells. A D flip-flop is internally a master-slave latch
+  // pair plus local clock inverters, so a single transparent latch costs
+  // roughly half of it across the board: area ~0.56, clock-pin cap ~0.45,
+  // internal clock energy ~0.44, data switching ~0.47. The absolute FF
+  // clock energy (2.4 fJ/edge incl. local clock buffering) is calibrated so
+  // the FF baseline reproduces the clock-network share of total power the
+  // paper reports (e.g. s35932: 11.5 of 18.5 mW); the latch/FF ratios are
+  // the physical lever behind the register and clock-tree savings.
+  set(CellKind::kDff, {.area_um2 = 4.61, .input_cap_ff = 1.0,
+                       .clock_cap_ff = 1.10, .intrinsic_ps = 84,
+                       .slope_ps_per_ff = 2.6, .leakage_nw = 6.5,
+                       .switch_energy_fj = 1.80, .clock_energy_fj = 2.40,
+                       .setup_ps = 35, .hold_ps = 8});
+  set(CellKind::kDffEn, {.area_um2 = 5.78, .input_cap_ff = 1.0,
+                         .clock_cap_ff = 1.15, .intrinsic_ps = 88,
+                         .slope_ps_per_ff = 2.6, .leakage_nw = 8.1,
+                         .switch_energy_fj = 2.00, .clock_energy_fj = 2.60,
+                         .setup_ps = 38, .hold_ps = 8});
+  set(CellKind::kLatchH, {.area_um2 = 2.59, .input_cap_ff = 0.9,
+                          .clock_cap_ff = 0.50, .intrinsic_ps = 46,
+                          .slope_ps_per_ff = 2.4, .leakage_nw = 3.0,
+                          .switch_energy_fj = 0.85, .clock_energy_fj = 1.05,
+                          .setup_ps = 28, .hold_ps = 12});
+  set(CellKind::kLatchL, {.area_um2 = 2.59, .input_cap_ff = 0.9,
+                          .clock_cap_ff = 0.50, .intrinsic_ps = 46,
+                          .slope_ps_per_ff = 2.4, .leakage_nw = 3.0,
+                          .switch_energy_fj = 0.85, .clock_energy_fj = 1.05,
+                          .setup_ps = 28, .hold_ps = 12});
+
+  // Pulsed latch: latch-class cost plus margin for the sharpened clock
+  // edge requirements.
+  set(CellKind::kLatchP, {.area_um2 = 2.71, .input_cap_ff = 0.9,
+                          .clock_cap_ff = 0.55, .intrinsic_ps = 52,
+                          .slope_ps_per_ff = 2.4, .leakage_nw = 3.2,
+                          .switch_energy_fj = 0.92, .clock_energy_fj = 1.15,
+                          .setup_ps = 30, .hold_ps = 14});
+
+  // Clock-gating and clock-tree cells (Fig. 3(c0)-(c2)): M1 drops the
+  // inverter, M2 drops the internal latch.
+  set(CellKind::kIcg, {.area_um2 = 3.82, .input_cap_ff = 1.0,
+                       .clock_cap_ff = 1.10, .intrinsic_ps = 45,
+                       .slope_ps_per_ff = 1.6, .leakage_nw = 4.8,
+                       .switch_energy_fj = 0.70, .clock_energy_fj = 1.50});
+  set(CellKind::kIcgM1, {.area_um2 = 3.43, .input_cap_ff = 1.0,
+                         .clock_cap_ff = 1.05, .intrinsic_ps = 42,
+                         .slope_ps_per_ff = 1.6, .leakage_nw = 4.2,
+                         .switch_energy_fj = 0.62, .clock_energy_fj = 1.30});
+  set(CellKind::kIcgNoLatch, {.area_um2 = 1.18, .input_cap_ff = 1.0,
+                              .clock_cap_ff = 1.00, .intrinsic_ps = 29,
+                              .slope_ps_per_ff = 1.5, .leakage_nw = 1.8,
+                              .switch_energy_fj = 0.45,
+                              .clock_energy_fj = 0.70});
+  set(CellKind::kClkBuf, {.area_um2 = 1.27, .input_cap_ff = 1.2,
+                          .clock_cap_ff = 1.2, .intrinsic_ps = 31,
+                          .slope_ps_per_ff = 1.2, .leakage_nw = 2.1,
+                          .switch_energy_fj = 0.48});
+  set(CellKind::kClkInv, {.area_um2 = 0.69, .input_cap_ff = 1.1,
+                          .clock_cap_ff = 1.1, .intrinsic_ps = 19,
+                          .slope_ps_per_ff = 1.1, .leakage_nw = 1.4,
+                          .switch_energy_fj = 0.30});
+  return lib;
+}
+
+}  // namespace
+
+const CellLibrary& CellLibrary::nominal_28nm() {
+  static const CellLibrary lib = make_nominal_28nm();
+  return lib;
+}
+
+double CellLibrary::total_area_um2(const Netlist& netlist) const {
+  double area = 0;
+  for (CellId id : netlist.live_cells()) {
+    area += params(netlist.cell(id).kind).area_um2;
+  }
+  return area;
+}
+
+double CellLibrary::net_load_ff(const Netlist& netlist, NetId net_id) const {
+  const Net& net = netlist.net(net_id);
+  double load = 0;
+  for (const PinRef& ref : net.fanouts) {
+    load += pin_cap_ff(netlist.cell(ref.cell).kind,
+                       static_cast<int>(ref.pin));
+    load += wire_cap_per_fanout_ff_;
+  }
+  return load;
+}
+
+}  // namespace tp

@@ -1,0 +1,95 @@
+// Synthetic 28-nm-class standard-cell library.
+//
+// The paper evaluates on an industrial 28-nm FDSOI library; this module
+// provides a stand-in with the relative characteristics that drive the
+// paper's results: latches are roughly half the area of flip-flops, have
+// lower clock-pin capacitance and lower internal clock energy, and the
+// modified clock-gating cells (M1 without the inverter, M2 without the
+// latch) are cheaper than the conventional ICG.
+//
+// Units: area um^2, capacitance fF, time ps, leakage nW, energy fJ.
+// Delay model: NLDM-style linear  d = intrinsic + slope * load_fF.
+#pragma once
+
+#include <array>
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct CellParams {
+  double area_um2 = 0;
+  double input_cap_ff = 0;    // data input pins
+  double clock_cap_ff = 0;    // clock/gate pin (sequential & clock cells)
+  double intrinsic_ps = 0;    // unloaded delay (clk->q for FFs, d->q for
+                              // transparent latches, in->out otherwise)
+  double slope_ps_per_ff = 0; // delay per fF of output load
+  double leakage_nw = 0;
+  double switch_energy_fj = 0;  // internal energy per output toggle
+  double clock_energy_fj = 0;   // internal energy per clock edge (seq/ICG)
+  // Sequential constraints (registers only).
+  double setup_ps = 0;
+  double hold_ps = 0;
+};
+
+class CellLibrary {
+ public:
+  /// The default library used by every experiment. Values are synthetic but
+  /// keep the latch-vs-FF and ICG-variant ratios reported in the literature
+  /// for 28-nm-class processes.
+  static const CellLibrary& nominal_28nm();
+
+  [[nodiscard]] const CellParams& params(CellKind kind) const {
+    return params_[static_cast<int>(kind)];
+  }
+
+  [[nodiscard]] double voltage() const { return voltage_; }
+
+  /// Energy for one full swing of `cap_ff` femtofarads: C * V^2 / 2 (fJ).
+  [[nodiscard]] double net_switch_energy_fj(double cap_ff) const {
+    return 0.5 * cap_ff * voltage_ * voltage_;
+  }
+
+  /// Gate delay under `load_ff` of output load.
+  [[nodiscard]] double delay_ps(CellKind kind, double load_ff) const {
+    const CellParams& p = params(kind);
+    return p.intrinsic_ps + p.slope_ps_per_ff * load_ff;
+  }
+
+  /// Capacitance presented by input pin `pin` of a `kind` cell.
+  [[nodiscard]] double pin_cap_ff(CellKind kind, int pin) const {
+    const CellParams& p = params(kind);
+    return pin == clock_pin(kind) ? p.clock_cap_ff : p.input_cap_ff;
+  }
+
+  /// Default wire capacitance added per fanout pin when no placement-based
+  /// wire model is supplied (fF).
+  [[nodiscard]] double default_wire_cap_per_fanout_ff() const {
+    return wire_cap_per_fanout_ff_;
+  }
+
+  /// Wire capacitance per micron of routed length (fF/um), used with the
+  /// placement-based wireload model.
+  [[nodiscard]] double wire_cap_per_um_ff() const { return wire_cap_per_um_; }
+
+  /// Total area of all live cells in `netlist`.
+  [[nodiscard]] double total_area_um2(const Netlist& netlist) const;
+
+  /// Total load on `net`: fanout pin caps plus the default wire cap model.
+  [[nodiscard]] double net_load_ff(const Netlist& netlist, NetId net) const;
+
+  CellLibrary();  // zero-initialized; use nominal_28nm() for real values
+
+  /// Overrides one kind's parameters (custom / ablation libraries).
+  void set_params(CellKind kind, const CellParams& p) {
+    params_[static_cast<int>(kind)] = p;
+  }
+
+ private:
+  std::array<CellParams, kNumCellKinds> params_{};
+  double voltage_ = 0.9;
+  double wire_cap_per_fanout_ff_ = 1.4;
+  double wire_cap_per_um_ = 0.20;
+};
+
+}  // namespace tp

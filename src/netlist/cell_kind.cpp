@@ -1,0 +1,183 @@
+#include "src/netlist/cell_kind.hpp"
+
+#include "src/util/log.hpp"
+
+namespace tp {
+
+std::string_view cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput: return "INPUT";
+    case CellKind::kOutput: return "OUTPUT";
+    case CellKind::kConst0: return "CONST0";
+    case CellKind::kConst1: return "CONST1";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kInv: return "INV";
+    case CellKind::kAnd2: return "AND2";
+    case CellKind::kAnd3: return "AND3";
+    case CellKind::kOr2: return "OR2";
+    case CellKind::kOr3: return "OR3";
+    case CellKind::kNand2: return "NAND2";
+    case CellKind::kNand3: return "NAND3";
+    case CellKind::kNor2: return "NOR2";
+    case CellKind::kNor3: return "NOR3";
+    case CellKind::kXor2: return "XOR2";
+    case CellKind::kXnor2: return "XNOR2";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kAoi21: return "AOI21";
+    case CellKind::kOai21: return "OAI21";
+    case CellKind::kMaj3: return "MAJ3";
+    case CellKind::kDff: return "DFF";
+    case CellKind::kDffEn: return "DFFEN";
+    case CellKind::kLatchH: return "LATCHH";
+    case CellKind::kLatchL: return "LATCHL";
+    case CellKind::kLatchP: return "LATCHP";
+    case CellKind::kIcg: return "ICG";
+    case CellKind::kIcgM1: return "ICGM1";
+    case CellKind::kIcgNoLatch: return "ICGNL";
+    case CellKind::kClkBuf: return "CLKBUF";
+    case CellKind::kClkInv: return "CLKINV";
+  }
+  return "?";
+}
+
+int num_inputs(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return 0;
+    case CellKind::kOutput:
+    case CellKind::kBuf:
+    case CellKind::kInv:
+    case CellKind::kClkBuf:
+    case CellKind::kClkInv:
+      return 1;
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+    case CellKind::kDff:
+    case CellKind::kLatchH:
+    case CellKind::kLatchL:
+    case CellKind::kLatchP:
+    case CellKind::kIcg:
+    case CellKind::kIcgNoLatch:
+      return 2;
+    case CellKind::kAnd3:
+    case CellKind::kOr3:
+    case CellKind::kNand3:
+    case CellKind::kNor3:
+    case CellKind::kMux2:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+    case CellKind::kMaj3:
+    case CellKind::kDffEn:
+    case CellKind::kIcgM1:
+      return 3;
+  }
+  return 0;
+}
+
+bool has_output(CellKind kind) { return kind != CellKind::kOutput; }
+
+bool is_combinational(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf:
+    case CellKind::kInv:
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+    case CellKind::kMux2:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+    case CellKind::kMaj3:
+    case CellKind::kIcgNoLatch:
+    case CellKind::kClkBuf:
+    case CellKind::kClkInv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_register(CellKind kind) {
+  return kind == CellKind::kDff || kind == CellKind::kDffEn ||
+         kind == CellKind::kLatchH || kind == CellKind::kLatchL ||
+         kind == CellKind::kLatchP;
+}
+
+bool is_flip_flop(CellKind kind) {
+  return kind == CellKind::kDff || kind == CellKind::kDffEn;
+}
+
+bool is_latch(CellKind kind) {
+  return kind == CellKind::kLatchH || kind == CellKind::kLatchL;
+}
+
+bool is_icg(CellKind kind) {
+  return kind == CellKind::kIcg || kind == CellKind::kIcgM1 ||
+         kind == CellKind::kIcgNoLatch;
+}
+
+bool is_clock_cell(CellKind kind) {
+  return is_icg(kind) || kind == CellKind::kClkBuf ||
+         kind == CellKind::kClkInv;
+}
+
+int clock_pin(CellKind kind) {
+  switch (kind) {
+    case CellKind::kDff:
+    case CellKind::kLatchH:
+    case CellKind::kLatchL:
+    case CellKind::kLatchP:
+    case CellKind::kIcg:
+    case CellKind::kIcgM1:
+    case CellKind::kIcgNoLatch:
+      return 1;
+    case CellKind::kDffEn:
+      return 2;
+    case CellKind::kClkBuf:
+    case CellKind::kClkInv:
+      return 0;
+    default:
+      return -1;
+  }
+}
+
+bool eval_comb(CellKind kind, std::span<const bool> ins) {
+  switch (kind) {
+    case CellKind::kBuf: return ins[0];
+    case CellKind::kInv: return !ins[0];
+    case CellKind::kAnd2: return ins[0] && ins[1];
+    case CellKind::kAnd3: return ins[0] && ins[1] && ins[2];
+    case CellKind::kOr2: return ins[0] || ins[1];
+    case CellKind::kOr3: return ins[0] || ins[1] || ins[2];
+    case CellKind::kNand2: return !(ins[0] && ins[1]);
+    case CellKind::kNand3: return !(ins[0] && ins[1] && ins[2]);
+    case CellKind::kNor2: return !(ins[0] || ins[1]);
+    case CellKind::kNor3: return !(ins[0] || ins[1] || ins[2]);
+    case CellKind::kXor2: return ins[0] != ins[1];
+    case CellKind::kXnor2: return ins[0] == ins[1];
+    case CellKind::kMux2: return ins[2] ? ins[1] : ins[0];
+    case CellKind::kAoi21: return !((ins[0] && ins[1]) || ins[2]);
+    case CellKind::kOai21: return !((ins[0] || ins[1]) && ins[2]);
+    case CellKind::kMaj3:
+      return (ins[0] && ins[1]) || (ins[0] && ins[2]) || (ins[1] && ins[2]);
+    case CellKind::kIcgNoLatch: return ins[0] && ins[1];
+    case CellKind::kClkBuf: return ins[0];
+    case CellKind::kClkInv: return !ins[0];
+    default:
+      throw Error("eval_comb: kind is not combinational");
+  }
+}
+
+}  // namespace tp

@@ -1,0 +1,105 @@
+// Cell kinds and their pin/function semantics.
+//
+// Every cell in a Netlist has a CellKind that fixes its pin count, pin
+// meaning, and (for combinational kinds) its boolean function. Sequential and
+// clock-network kinds (flip-flops, latches, integrated clock gates, clock
+// buffers) are interpreted by the simulator and the timing engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace tp {
+
+enum class CellKind : std::uint8_t {
+  // Interface pseudo-cells.
+  kInput,    // no inputs; drives one net (also used for clock roots)
+  kOutput,   // one input {A}; no output net
+  kConst0,   // no inputs; constant-0 net
+  kConst1,   // no inputs; constant-1 net
+
+  // Combinational gates. Input order is positional: {A, B, C, ...}.
+  kBuf,      // {A}
+  kInv,      // {A}
+  kAnd2,     // {A, B}
+  kAnd3,     // {A, B, C}
+  kOr2,      // {A, B}
+  kOr3,      // {A, B, C}
+  kNand2,    // {A, B}
+  kNand3,    // {A, B, C}
+  kNor2,     // {A, B}
+  kNor3,     // {A, B, C}
+  kXor2,     // {A, B}
+  kXnor2,    // {A, B}
+  kMux2,     // {A, B, S} -> S ? B : A
+  kAoi21,    // {A, B, C} -> !((A & B) | C)
+  kOai21,    // {A, B, C} -> !((A | B) & C)
+  kMaj3,     // {A, B, C} -> majority
+
+  // Sequential cells.
+  kDff,      // {D, CK}: sample D on rising CK
+  kDffEn,    // {D, EN, CK}: sample D on rising CK when EN, else hold
+             // ("enabled clock" style of Fig. 2(a) — the mux is internal)
+  kLatchH,   // {D, G}: transparent while G is high
+  kLatchL,   // {D, G}: transparent while G is low
+  kLatchP,   // {D, G}: pulsed latch - samples at the rising pulse edge
+             // (hold-clean pulsed latches behave edge-triggered; the STA
+             // still grants the [rise, fall] borrowing window)
+
+  // Clock-network cells.
+  kIcg,        // {EN, CK} -> GCLK; conventional integrated clock gate:
+               // internal latch captures EN while CK is low, GCLK = ENLT & CK
+               // (Fig. 3(c0))
+  kIcgM1,      // {EN, CK, PB} -> GCLK; modification M1 (Fig. 3(c1)): the
+               // internal latch is transparent while PB (e.g. p3 for a p2 CG)
+               // is high instead of while CK is low
+  kIcgNoLatch, // {EN, CK} -> GCLK = EN & CK; modification M2 (Fig. 3(c2)):
+               // the internal latch is removed
+  kClkBuf,     // {A}: clock-tree buffer
+  kClkInv,     // {A}: clock-tree inverter
+};
+
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kClkInv) + 1;
+
+/// Human-readable kind name ("AND2", "DFF", ...).
+std::string_view cell_kind_name(CellKind kind);
+
+/// Number of input pins the kind requires.
+int num_inputs(CellKind kind);
+
+/// True when the kind has an output net (everything except kOutput).
+bool has_output(CellKind kind);
+
+/// True for gates whose output is a pure boolean function of their inputs
+/// (includes kBuf..kMaj3 and also kIcgNoLatch / kClkBuf / kClkInv, which are
+/// stateless).
+bool is_combinational(CellKind kind);
+
+/// True for state-holding storage cells: kDff, kDffEn, kLatchH, kLatchL.
+bool is_register(CellKind kind);
+
+/// True for edge-triggered registers (kDff, kDffEn).
+bool is_flip_flop(CellKind kind);
+
+/// True for level-sensitive registers (kLatchH, kLatchL). Pulsed latches
+/// (kLatchP) are registers but sample on the pulse edge, so they are not
+/// included here.
+bool is_latch(CellKind kind);
+
+/// True for integrated-clock-gate kinds (kIcg, kIcgM1, kIcgNoLatch).
+bool is_icg(CellKind kind);
+
+/// True for cells that live on the clock network (ICGs and clock buffers).
+bool is_clock_cell(CellKind kind);
+
+/// Index of the clock input pin for sequential/clock cells, -1 otherwise.
+/// kDff -> 1, kDffEn -> 2, latches -> 1 (the gate pin), ICGs -> 1, clock
+/// buffers -> 0.
+int clock_pin(CellKind kind);
+
+/// Evaluate a stateless kind (is_combinational). `ins` must have
+/// num_inputs(kind) entries.
+bool eval_comb(CellKind kind, std::span<const bool> ins);
+
+}  // namespace tp

@@ -1,0 +1,136 @@
+#include "src/netlist/stats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/util/strcat.hpp"
+
+namespace tp {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    ++stats.cells_by_kind[static_cast<std::size_t>(cell.kind)];
+    ++stats.live_cells;
+    if (is_register(cell.kind)) {
+      ++stats.registers;
+      ++stats.registers_by_phase[static_cast<std::size_t>(cell.phase)];
+    } else if (is_clock_cell(cell.kind)) {
+      ++stats.clock_cells;
+    } else if (is_combinational(cell.kind)) {
+      ++stats.combinational;
+    }
+  }
+  std::uint64_t fanout_sum = 0;
+  std::uint64_t fanout_nets = 0;
+  for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(NetId{n});
+    if (!net.alive) continue;
+    ++stats.live_nets;
+    if (net.driver.valid()) {
+      fanout_sum += net.fanouts.size();
+      ++fanout_nets;
+      stats.max_fanout =
+          std::max(stats.max_fanout, static_cast<int>(net.fanouts.size()));
+    }
+  }
+  stats.avg_fanout = fanout_nets == 0
+                         ? 0.0
+                         : static_cast<double>(fanout_sum) /
+                               static_cast<double>(fanout_nets);
+  stats.max_logic_depth = levelize(netlist).max_level;
+
+  const RegisterGraph graph = build_register_graph(netlist);
+  stats.ff_graph_edges = static_cast<int>(graph.num_edges());
+  for (std::size_t u = 0; u < graph.regs.size(); ++u) {
+    stats.ff_self_loops += graph.has_self_loop(static_cast<int>(u));
+  }
+  stats.avg_ff_fanout =
+      graph.regs.empty()
+          ? 0.0
+          : static_cast<double>(graph.num_edges()) /
+                static_cast<double>(graph.regs.size());
+  return stats;
+}
+
+std::string format_stats(const NetlistStats& stats) {
+  std::ostringstream os;
+  os << "cells " << stats.live_cells << " (comb " << stats.combinational
+     << ", registers " << stats.registers << ", clock "
+     << stats.clock_cells << "), nets " << stats.live_nets << "\n";
+  os << "registers by phase:";
+  for (const Phase phase : {Phase::kNone, Phase::kClk, Phase::kClkBar,
+                            Phase::kP1, Phase::kP2, Phase::kP3}) {
+    const int count =
+        stats.registers_by_phase[static_cast<std::size_t>(phase)];
+    if (count) os << ' ' << phase_name(phase) << '=' << count;
+  }
+  os << "\nlogic depth " << stats.max_logic_depth << ", avg fanout "
+     << stats.avg_fanout << ", max fanout " << stats.max_fanout << "\n";
+  os << "FF graph: " << stats.ff_graph_edges << " edges, "
+     << stats.ff_self_loops << " self-loops, avg fanout "
+     << stats.avg_ff_fanout << "\n";
+  return os.str();
+}
+
+namespace {
+
+const char* phase_color(Phase phase) {
+  switch (phase) {
+    case Phase::kP1: return "lightblue";
+    case Phase::kP2: return "khaki";       // the paper draws p2 in yellow
+    case Phase::kP3: return "lightgreen";
+    case Phase::kClk: return "lightgrey";
+    case Phase::kClkBar: return "grey";
+    case Phase::kNone: return "white";
+  }
+  return "white";
+}
+
+}  // namespace
+
+void write_dot(const Netlist& netlist, std::ostream& out) {
+  out << "digraph \"" << netlist.name() << "\" {\n  rankdir=LR;\n";
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    const char* shape = is_register(cell.kind)     ? "box"
+                        : is_clock_cell(cell.kind) ? "diamond"
+                        : cell.kind == CellKind::kInput ||
+                                cell.kind == CellKind::kOutput
+                            ? "plaintext"
+                            : "ellipse";
+    out << "  c" << id.value() << " [label=\"" << cell.name << "\\n"
+        << cell_kind_name(cell.kind) << "\" shape=" << shape
+        << " style=filled fillcolor=" << phase_color(cell.phase) << "];\n";
+  }
+  for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(NetId{n});
+    if (!net.alive || !net.driver.valid()) continue;
+    for (const PinRef& ref : net.fanouts) {
+      out << "  c" << net.driver.value() << " -> c" << ref.cell.value();
+      if (net.is_clock) out << " [style=dashed color=gray]";
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+void write_register_graph_dot(const Netlist& netlist, std::ostream& out) {
+  const RegisterGraph graph = build_register_graph(netlist);
+  out << "digraph \"" << netlist.name() << "_regs\" {\n";
+  for (std::size_t u = 0; u < graph.regs.size(); ++u) {
+    const Cell& cell = netlist.cell(graph.regs[u]);
+    out << "  r" << u << " [label=\"" << cell.name
+        << "\" shape=box style=filled fillcolor="
+        << phase_color(cell.phase) << "];\n";
+  }
+  for (std::size_t u = 0; u < graph.regs.size(); ++u) {
+    for (const int v : graph.fanout[u]) {
+      out << "  r" << u << " -> r" << v << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace tp

@@ -1,0 +1,53 @@
+// Netlist statistics and DOT export.
+//
+// Structural summaries used by the benches, the CLI, and the benchmark
+// generators' self-checks: cell-kind histograms, register phase mix, logic
+// depth, fanout distribution, and the FF-graph feedback profile that
+// drives the conversion's effectiveness. The DOT export renders small
+// designs (or register graphs of large ones) for inspection.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "src/netlist/traverse.hpp"
+
+namespace tp {
+
+struct NetlistStats {
+  std::array<int, kNumCellKinds> cells_by_kind{};
+  int live_cells = 0;
+  int live_nets = 0;
+  int registers = 0;
+  int registers_by_phase[6] = {0, 0, 0, 0, 0, 0};  // indexed by Phase
+  int combinational = 0;
+  int clock_cells = 0;
+  int max_logic_depth = 0;
+  double avg_fanout = 0;
+  int max_fanout = 0;
+  // FF-graph profile.
+  int ff_graph_edges = 0;
+  int ff_self_loops = 0;
+  double avg_ff_fanout = 0;
+
+  [[nodiscard]] int count(CellKind kind) const {
+    return cells_by_kind[static_cast<std::size_t>(kind)];
+  }
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+
+/// Multi-line human-readable rendering.
+std::string format_stats(const NetlistStats& stats);
+
+/// Graphviz DOT of the full netlist (cells as nodes). Intended for small
+/// designs; registers are boxes colored by phase, clock cells are
+/// diamonds.
+void write_dot(const Netlist& netlist, std::ostream& out);
+
+/// Graphviz DOT of the register graph only (one node per register, edges
+/// for combinational reachability) — readable even for large designs.
+void write_register_graph_dot(const Netlist& netlist, std::ostream& out);
+
+}  // namespace tp

@@ -1,0 +1,36 @@
+// Structural Verilog export / import.
+//
+// The writer emits a flat gate-level module using a small companion cell
+// library (primitive gates as Verilog primitives or behavioral one-liners,
+// sequential cells as `TP_DFF`, `TP_LATCHH`, `TP_ICG`, ... instances), so a
+// converted design can be inspected, simulated, or consumed by downstream
+// tools. The reader parses the same subset back, enabling round-trip tests
+// and import of externally produced netlists that stick to the subset:
+//
+//   module <name> (port, ...);
+//     input  a; output b; wire w1;
+//     TP_AND2 g1 (.A(a), .B(w1), .Y(b));
+//     TP_DFF  r1 (.D(w1), .CK(clk), .Q(q), .INIT(1'b0));   // INIT optional
+//   endmodule
+//
+// plus `// tp-clock <phase> <net> <rise_ps> <fall_ps> <period_ps>` comment
+// directives that carry the clock plan.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+/// Writes `netlist` as structural Verilog.
+void write_verilog(const Netlist& netlist, std::ostream& out);
+std::string to_verilog(const Netlist& netlist);
+
+/// Parses the structural subset emitted by write_verilog. Throws tp::Error
+/// with a line number on any syntax or semantic problem.
+Netlist read_verilog(std::istream& in);
+Netlist read_verilog_string(const std::string& text);
+
+}  // namespace tp

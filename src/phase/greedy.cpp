@@ -1,0 +1,71 @@
+// Greedy phase-assignment baseline (used by the ILP-vs-greedy ablation).
+//
+// Scans FFs in ascending conflict-degree order and makes each one a single
+// p1 latch whenever that is legal (no self-loop, no already-chosen conflict
+// neighbor) and its marginal objective gain is positive (+1 latch saved,
+// minus any newly-incurred PI insertion).
+#include <algorithm>
+#include <numeric>
+
+#include "src/phase/assignment.hpp"
+
+namespace tp {
+
+PhaseAssignment assign_phases_greedy(const RegisterGraph& graph) {
+  const std::size_t n = graph.regs.size();
+  std::vector<std::vector<int>> adj(n);
+  std::vector<std::uint8_t> self_loop(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const int v : graph.fanout[u]) {
+      if (static_cast<std::size_t>(v) == u) {
+        self_loop[u] = 1;
+      } else {
+        adj[u].push_back(v);
+        adj[static_cast<std::size_t>(v)].push_back(static_cast<int>(u));
+      }
+    }
+  }
+  std::vector<std::vector<int>> node_pis(n);
+  for (std::size_t p = 0; p < graph.data_pis.size(); ++p) {
+    for (const int v : graph.pi_fanout[p]) {
+      node_pis[static_cast<std::size_t>(v)].push_back(static_cast<int>(p));
+    }
+  }
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto da = adj[static_cast<std::size_t>(a)].size();
+    const auto db = adj[static_cast<std::size_t>(b)].size();
+    return da != db ? da < db : a < b;
+  });
+
+  std::vector<std::uint8_t> in_s(n, 0);
+  std::vector<int> pi_touched(graph.data_pis.size(), 0);
+  for (const int u : order) {
+    const auto su = static_cast<std::size_t>(u);
+    if (self_loop[su]) continue;
+    bool blocked = false;
+    for (const int v : adj[su]) {
+      if (in_s[static_cast<std::size_t>(v)]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    int gain = 1;
+    for (const int p : node_pis[su]) {
+      if (pi_touched[static_cast<std::size_t>(p)] == 0) --gain;
+    }
+    if (gain <= 0) continue;
+    in_s[su] = 1;
+    for (const int p : node_pis[su]) {
+      ++pi_touched[static_cast<std::size_t>(p)];
+    }
+  }
+  PhaseAssignment a = assignment_from_k(graph, std::move(in_s));
+  a.optimal = false;
+  return a;
+}
+
+}  // namespace tp

@@ -1,0 +1,88 @@
+#include "src/phase/ilp_formulation.hpp"
+
+#include "src/ilp/solver.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp {
+
+PhaseIlp build_phase_ilp(const RegisterGraph& graph) {
+  PhaseIlp ilp;
+  const std::size_t n = graph.regs.size();
+  ilp.k_vars.reserve(n);
+  ilp.g_vars.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    ilp.k_vars.push_back(ilp.model.add_binary(cat("K_", u), 0.0));
+    ilp.g_vars.push_back(ilp.model.add_binary(cat("G_", u), 1.0));
+  }
+  for (std::size_t p = 0; p < graph.data_pis.size(); ++p) {
+    ilp.pi_g_vars.push_back(ilp.model.add_binary(cat("Gpi_", p), 1.0));
+  }
+
+  for (std::size_t u = 0; u < n; ++u) {
+    // G(u) + K(u) >= 1: a p3 latch is always back-to-back.
+    ilp.model.add_constraint(cat("b2b_", u),
+                             {{ilp.g_vars[u], 1.0}, {ilp.k_vars[u], 1.0}},
+                             ilp::Sense::kGe, 1.0);
+    // G(u) - K(u) - K(v) >= -1: consecutive p1 latches force insertion.
+    for (const int v : graph.fanout[u]) {
+      if (static_cast<std::size_t>(v) == u) {
+        // Self-loop: G(u) - 2 K(u) >= -1.
+        ilp.model.add_constraint(
+            cat("self_", u), {{ilp.g_vars[u], 1.0}, {ilp.k_vars[u], -2.0}},
+            ilp::Sense::kGe, -1.0);
+      } else {
+        ilp.model.add_constraint(cat("edge_", u, "_", v),
+                                 {{ilp.g_vars[u], 1.0},
+                                  {ilp.k_vars[u], -1.0},
+                                  {ilp.k_vars[static_cast<std::size_t>(v)],
+                                   -1.0}},
+                                 ilp::Sense::kGe, -1.0);
+      }
+    }
+  }
+  // G(p) >= K(v) for every data PI p and FF v in its fanout.
+  for (std::size_t p = 0; p < graph.data_pis.size(); ++p) {
+    for (const int v : graph.pi_fanout[p]) {
+      ilp.model.add_constraint(
+          cat("pi_", p, "_", v),
+          {{ilp.pi_g_vars[p], 1.0},
+           {ilp.k_vars[static_cast<std::size_t>(v)], -1.0}},
+          ilp::Sense::kGe, 0.0);
+    }
+  }
+  return ilp;
+}
+
+PhaseAssignment decode_phase_ilp(const RegisterGraph& graph,
+                                 const PhaseIlp& ilp,
+                                 const std::vector<std::uint8_t>& values,
+                                 bool optimal) {
+  std::vector<std::uint8_t> k(graph.regs.size());
+  for (std::size_t u = 0; u < k.size(); ++u) {
+    k[u] = values[ilp.k_vars[u].value()];
+  }
+  PhaseAssignment a = assignment_from_k(graph, std::move(k));
+  a.optimal = optimal;
+  return a;
+}
+
+PhaseAssignment assign_phases_ilp(const RegisterGraph& graph,
+                                  double time_limit_s) {
+  const PhaseIlp ilp = build_phase_ilp(graph);
+  ilp::SolveOptions options;
+  options.time_limit_s = time_limit_s;
+  const ilp::Solution solution = ilp::solve(ilp.model, options);
+  if (solution.status == ilp::SolveStatus::kOptimal ||
+      solution.status == ilp::SolveStatus::kFeasible) {
+    return decode_phase_ilp(graph, ilp, solution.values,
+                            solution.status == ilp::SolveStatus::kOptimal);
+  }
+  // The ILP is always feasible (K = 0 everywhere); reaching here means the
+  // limits were too tight to even complete the first dive. Fall back to the
+  // trivial all-p3 assignment.
+  log_warn("assign_phases_ilp: solver hit limits before first incumbent");
+  return assignment_from_k(graph,
+                           std::vector<std::uint8_t>(graph.regs.size(), 0));
+}
+
+}  // namespace tp

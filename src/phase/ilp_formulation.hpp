@@ -1,0 +1,35 @@
+// The paper's exact ILP formulation (Sec. IV-A), in the Gurobi-compatible
+// inequality form:
+//
+//   minimize   sum_u G(u)           (over FFs and data PIs)
+//   subject to G(u) + K(u) >= 1                 for all u in V
+//              G(u) - K(u) - K(v) >= -1         for all u in V, v in FO(u)
+//              G(p) - K(v) >= 0                 for all p in PI, v in FO(p)
+//
+// All variables binary; PIs have no K variable (they are p1 by definition).
+#pragma once
+
+#include "src/ilp/model.hpp"
+#include "src/phase/assignment.hpp"
+
+namespace tp {
+
+struct PhaseIlp {
+  ilp::Model model;
+  std::vector<VarId> k_vars;     // per register node
+  std::vector<VarId> g_vars;     // per register node
+  std::vector<VarId> pi_g_vars;  // per data PI
+};
+
+/// Builds the ILP for a register graph.
+PhaseIlp build_phase_ilp(const RegisterGraph& graph);
+
+/// Decodes an ILP solution vector into a PhaseAssignment (also canonicalizes
+/// G downward where the solver left slack, which cannot increase the
+/// objective).
+PhaseAssignment decode_phase_ilp(const RegisterGraph& graph,
+                                 const PhaseIlp& ilp,
+                                 const std::vector<std::uint8_t>& values,
+                                 bool optimal);
+
+}  // namespace tp

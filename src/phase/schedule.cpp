@@ -1,0 +1,75 @@
+#include "src/phase/schedule.hpp"
+
+namespace tp {
+
+void apply_phase_schedule(Netlist& netlist, std::int64_t e1_ps,
+                          std::int64_t e2_ps) {
+  ClockSpec& clocks = netlist.clocks();
+  require(clocks.phases.size() == 3,
+          "apply_phase_schedule: not a 3-phase design");
+  require(0 < e1_ps && e1_ps < e2_ps && e2_ps < clocks.period_ps,
+          "apply_phase_schedule: need 0 < e1 < e2 < Tc");
+  for (PhaseWaveform& w : clocks.phases) {
+    switch (w.phase) {
+      case Phase::kP1:
+        w.rise_ps = 0;
+        w.fall_ps = e1_ps;
+        break;
+      case Phase::kP2:
+        w.rise_ps = e1_ps;
+        w.fall_ps = e2_ps;
+        break;
+      case Phase::kP3:
+        w.rise_ps = e2_ps;
+        w.fall_ps = clocks.period_ps;
+        break;
+      default:
+        throw Error("apply_phase_schedule: unexpected phase");
+    }
+  }
+}
+
+ScheduleExploration explore_phase_schedule(const Netlist& netlist,
+                                           const CellLibrary& library,
+                                           int grid_steps,
+                                           const TimingOptions& options) {
+  require(grid_steps >= 3, "explore_phase_schedule: grid too coarse");
+  ScheduleExploration exploration;
+  Netlist probe = netlist;
+  const std::int64_t period = netlist.clocks().period_ps;
+  const std::int64_t step = period / grid_steps;
+
+  auto sample = [&](std::int64_t e1, std::int64_t e2) {
+    apply_phase_schedule(probe, e1, e2);
+    const TimingReport report = check_timing(probe, library, options);
+    ScheduleSample s;
+    s.e1_ps = e1;
+    s.e2_ps = e2;
+    s.worst_setup_slack_ps =
+        report.converged ? report.worst_setup_slack_ps : -1e9;
+    s.setup_ok = report.converged && report.setup_ok;
+    return s;
+  };
+
+  bool have_best = false;
+  for (std::int64_t e1 = step; e1 < period - step; e1 += step) {
+    for (std::int64_t e2 = e1 + step; e2 < period; e2 += step) {
+      const ScheduleSample s = sample(e1, e2);
+      exploration.samples.push_back(s);
+      if (!have_best ||
+          s.worst_setup_slack_ps > exploration.best.worst_setup_slack_ps) {
+        exploration.best = s;
+        have_best = true;
+      }
+    }
+  }
+  exploration.uniform = sample(period / 3, 2 * period / 3);
+  // Uniform thirds participate in the comparison too.
+  if (!have_best || exploration.uniform.worst_setup_slack_ps >
+                        exploration.best.worst_setup_slack_ps) {
+    exploration.best = exploration.uniform;
+  }
+  return exploration;
+}
+
+}  // namespace tp

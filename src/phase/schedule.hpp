@@ -1,0 +1,42 @@
+// Phase-schedule exploration (an extension rooted in the paper's SMO
+// background, Sec. II).
+//
+// The conversion uses uniform thirds (e1 = Tc/3, e2 = 2Tc/3, e3 = Tc), but
+// the SMO model only requires ordered closing edges. Skewing the splits
+// re-apportions borrowing windows between the p1/p2/p3 segments — e.g. a
+// design whose long paths sit after the p2 latches benefits from an early
+// e2. This module sweeps (e1, e2), scores each schedule with the SMO STA,
+// and can rewrite the clock plan to the best one found.
+#pragma once
+
+#include <vector>
+
+#include "src/timing/sta.hpp"
+
+namespace tp {
+
+struct ScheduleSample {
+  std::int64_t e1_ps = 0;  // p1 closing edge
+  std::int64_t e2_ps = 0;  // p2 closing edge (e3 = Tc)
+  double worst_setup_slack_ps = 0;
+  bool setup_ok = false;
+};
+
+struct ScheduleExploration {
+  std::vector<ScheduleSample> samples;  // full grid, row-major in (e1, e2)
+  ScheduleSample best;                  // max worst-slack sample
+  ScheduleSample uniform;               // the Tc/3 reference point
+};
+
+/// Sweeps e1 in (0, Tc), e2 in (e1, Tc) on a `grid_steps`-division grid.
+/// The netlist must be a 3-phase design.
+ScheduleExploration explore_phase_schedule(const Netlist& netlist,
+                                           const CellLibrary& library,
+                                           int grid_steps = 12,
+                                           const TimingOptions& options = {});
+
+/// Rewrites the netlist's clock plan to the given closing edges.
+void apply_phase_schedule(Netlist& netlist, std::int64_t e1_ps,
+                          std::int64_t e2_ps);
+
+}  // namespace tp

@@ -1,0 +1,410 @@
+// Specialized exact solver for the phase-assignment ILP.
+//
+// Canonical-form reduction (proof sketch): in an optimal solution it never
+// helps to set K(u) = 1 for a node that still ends up back-to-back — flipping
+// such a node to K(u) = 0 keeps its own cost and can only relax its
+// predecessors' and PIs' constraints. Hence the optimum is characterized by
+// the set S of single-latch nodes (K = indicator of S, G = 1 - indicator):
+//
+//   maximize  |S| - |{ p in PI : FO(p) intersects S }|
+//   subject to S independent in the undirected conflict graph
+//              (u-v for every FF edge u->v) and S avoiding self-loop nodes.
+//
+// This file solves that maximum-independent-set variant exactly via
+// reductions (self-loop removal, isolated inclusion, degree-1 folding),
+// connected-component decomposition, and per-component branch and bound with
+// a greedy incumbent. When a component exceeds the time budget the greedy
+// solution is kept and the result is marked non-optimal.
+#include <algorithm>
+#include <numeric>
+
+#include "src/phase/assignment.hpp"
+#include "src/util/log.hpp"
+#include "src/util/rng.hpp"
+
+namespace tp {
+namespace {
+
+struct ConflictGraph {
+  std::vector<std::vector<int>> adj;      // undirected, deduplicated
+  std::vector<std::uint8_t> self_loop;    // node excluded from S
+  std::vector<std::vector<int>> node_pis; // PIs covering each node
+  int num_pis = 0;
+};
+
+ConflictGraph build_conflict_graph(const RegisterGraph& graph) {
+  ConflictGraph cg;
+  const std::size_t n = graph.regs.size();
+  cg.adj.resize(n);
+  cg.self_loop.assign(n, 0);
+  cg.node_pis.resize(n);
+  cg.num_pis = static_cast<int>(graph.data_pis.size());
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const int v : graph.fanout[u]) {
+      if (static_cast<std::size_t>(v) == u) {
+        cg.self_loop[u] = 1;
+      } else {
+        cg.adj[u].push_back(v);
+        cg.adj[static_cast<std::size_t>(v)].push_back(static_cast<int>(u));
+      }
+    }
+  }
+  for (auto& a : cg.adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  for (int p = 0; p < cg.num_pis; ++p) {
+    for (const int v : graph.pi_fanout[static_cast<std::size_t>(p)]) {
+      cg.node_pis[static_cast<std::size_t>(v)].push_back(p);
+    }
+  }
+  return cg;
+}
+
+enum : std::int8_t { kUndecided = -1, kOut = 0, kIn = 1 };
+
+/// Branch-and-bound over one connected component.
+class ComponentSearch {
+ public:
+  ComponentSearch(const ConflictGraph& cg, std::vector<int> nodes,
+                  std::vector<std::int8_t>& status, double deadline_s,
+                  Stopwatch& timer)
+      : cg_(cg),
+        nodes_(std::move(nodes)),
+        status_(status),
+        deadline_s_(deadline_s),
+        timer_(timer) {
+    pi_local_count_.assign(static_cast<std::size_t>(cg.num_pis), 0);
+    // Branch high-degree nodes first: they constrain the most.
+    std::sort(nodes_.begin(), nodes_.end(), [&](int a, int b) {
+      return cg_.adj[static_cast<std::size_t>(a)].size() >
+             cg_.adj[static_cast<std::size_t>(b)].size();
+    });
+  }
+
+  /// Runs the search; returns true when the component was solved to
+  /// optimality. The best found membership is applied to `status_`.
+  /// Components above this size skip the exact search: branch and bound
+  /// cannot close such instances anyway, and the incumbent's local search is
+  /// what determines quality there (mirrors commercial-solver time-outs).
+  static constexpr std::size_t kExactLimit = 400;
+
+  bool run() {
+    build_incumbent();
+    if (nodes_.size() > kExactLimit) {
+      truncated_ = true;
+    } else {
+      dfs(0, 0, static_cast<int>(nodes_.size()));
+    }
+    // Apply the best assignment.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      status_[static_cast<std::size_t>(nodes_[i])] = best_assign_[i];
+    }
+    return !truncated_;
+  }
+
+ private:
+  /// Marginal gain of adding u to S: +1 minus newly-touched PI penalties.
+  int include_gain(int u) const {
+    int gain = 1;
+    for (const int p : cg_.node_pis[static_cast<std::size_t>(u)]) {
+      if (pi_local_count_[static_cast<std::size_t>(p)] == 0) --gain;
+    }
+    return gain;
+  }
+
+  void do_include(int u) {
+    status_[static_cast<std::size_t>(u)] = kIn;
+    for (const int p : cg_.node_pis[static_cast<std::size_t>(u)]) {
+      ++pi_local_count_[static_cast<std::size_t>(p)];
+    }
+  }
+
+  void undo_include(int u) {
+    status_[static_cast<std::size_t>(u)] = kUndecided;
+    for (const int p : cg_.node_pis[static_cast<std::size_t>(u)]) {
+      --pi_local_count_[static_cast<std::size_t>(p)];
+    }
+  }
+
+  /// Greedy + local-search incumbent, computed on scratch state so the
+  /// exact search starts from a clean all-undecided component.
+  ///
+  /// Greedy alone is weak on dense layered graphs (the crypto-pipeline
+  /// shape), where the optimum selects alternate layers. The plateau-
+  /// accepting (1,1)-swap walk — remove the single conflicting member, add
+  /// the candidate, accept on non-negative delta — reliably drifts toward
+  /// that structure.
+  void build_incumbent() {
+    Rng rng(0xC0FFEEULL ^ (nodes_.size() * 2654435761ULL));
+    std::vector<std::uint8_t> in_s(status_.size(), 0);
+    std::vector<int> pi_count(static_cast<std::size_t>(cg_.num_pis), 0);
+    int gain = 0;
+
+    auto marginal_gain = [&](int u) {
+      int m = 1;
+      for (const int p : cg_.node_pis[static_cast<std::size_t>(u)]) {
+        if (pi_count[static_cast<std::size_t>(p)] == 0) --m;
+      }
+      return m;
+    };
+    auto removal_delta = [&](int u) {
+      int d = -1;
+      for (const int p : cg_.node_pis[static_cast<std::size_t>(u)]) {
+        if (pi_count[static_cast<std::size_t>(p)] == 1) ++d;
+      }
+      return d;
+    };
+    auto add = [&](int u) {
+      gain += marginal_gain(u);
+      in_s[static_cast<std::size_t>(u)] = 1;
+      for (const int p : cg_.node_pis[static_cast<std::size_t>(u)]) {
+        ++pi_count[static_cast<std::size_t>(p)];
+      }
+    };
+    auto remove = [&](int u) {
+      gain += removal_delta(u);
+      in_s[static_cast<std::size_t>(u)] = 0;
+      for (const int p : cg_.node_pis[static_cast<std::size_t>(u)]) {
+        --pi_count[static_cast<std::size_t>(p)];
+      }
+    };
+    auto conflicts_of = [&](int u, int& the_one) {
+      int count = 0;
+      for (const int v : cg_.adj[static_cast<std::size_t>(u)]) {
+        if (in_s[static_cast<std::size_t>(v)]) {
+          ++count;
+          the_one = v;
+          if (count > 1) break;
+        }
+      }
+      return count;
+    };
+
+    // Greedy seed, low-degree first.
+    std::vector<int> order = nodes_;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return cg_.adj[static_cast<std::size_t>(a)].size() <
+             cg_.adj[static_cast<std::size_t>(b)].size();
+    });
+    for (const int u : order) {
+      if (cg_.self_loop[static_cast<std::size_t>(u)]) continue;
+      int w = -1;
+      if (conflicts_of(u, w) == 0 && marginal_gain(u) > 0) add(u);
+    }
+
+    // Plateau-accepting swap walk.
+    const std::size_t iters =
+        std::min<std::size_t>(400'000, 120 * nodes_.size());
+    for (std::size_t it = 0; it < iters; ++it) {
+      const int u = nodes_[rng.below(nodes_.size())];
+      const auto su = static_cast<std::size_t>(u);
+      if (cg_.self_loop[su]) continue;
+      if (in_s[su]) {
+        if (removal_delta(u) > 0) remove(u);
+        continue;
+      }
+      int w = -1;
+      const int conflicts = conflicts_of(u, w);
+      if (conflicts == 0) {
+        if (marginal_gain(u) >= 0) add(u);
+      } else if (conflicts == 1) {
+        // Tentative swap; revert on a strictly negative delta.
+        const int before = gain;
+        remove(w);
+        add(u);
+        if (gain < before) {
+          remove(u);
+          add(w);
+        }
+      }
+    }
+
+    // Record via the shared status_/record_best machinery.
+    for (const int u : nodes_) {
+      if (in_s[static_cast<std::size_t>(u)]) do_include(u);
+    }
+    record_best(gain);
+    for (const int u : nodes_) {
+      if (status_[static_cast<std::size_t>(u)] == kIn) undo_include(u);
+      status_[static_cast<std::size_t>(u)] = kUndecided;
+    }
+  }
+
+  void record_best(int gain) {
+    if (gain <= best_gain_ && !best_assign_.empty()) return;
+    best_gain_ = std::max(best_gain_, gain);
+    best_assign_.resize(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      best_assign_[i] =
+          status_[static_cast<std::size_t>(nodes_[i])] == kIn ? kIn : kOut;
+    }
+  }
+
+  /// Per-component search budget: beyond this the incumbent is already the
+  /// answer in practice and the proof is not worth the wall clock.
+  static constexpr std::uint64_t kMaxSteps = 4'000'000;
+
+  void dfs(std::size_t index, int gain, int undecided) {
+    if (++steps_ > kMaxSteps ||
+        ((steps_ & 2047) == 0 && timer_.seconds() > deadline_s_)) {
+      truncated_ = true;
+    }
+    if (truncated_) return;
+    // Skip already-decided nodes (excluded by a previous inclusion).
+    while (index < nodes_.size() &&
+           status_[static_cast<std::size_t>(nodes_[index])] != kUndecided) {
+      ++index;
+    }
+    if (index == nodes_.size()) {
+      record_best(gain);
+      return;
+    }
+    if (gain + undecided <= best_gain_) return;  // optimistic bound
+
+    const int u = nodes_[index];
+    // Branch 1: include u (illegal for self-loop nodes).
+    if (!cg_.self_loop[static_cast<std::size_t>(u)]) {
+      bool blocked = false;
+      for (const int v : cg_.adj[static_cast<std::size_t>(u)]) {
+        if (status_[static_cast<std::size_t>(v)] == kIn) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) {
+        const int marginal = include_gain(u);
+        do_include(u);
+        std::vector<int> newly_out;
+        for (const int v : cg_.adj[static_cast<std::size_t>(u)]) {
+          if (status_[static_cast<std::size_t>(v)] == kUndecided) {
+            status_[static_cast<std::size_t>(v)] = kOut;
+            newly_out.push_back(v);
+          }
+        }
+        dfs(index + 1, gain + marginal,
+            undecided - 1 - static_cast<int>(newly_out.size()));
+        for (const int v : newly_out) {
+          status_[static_cast<std::size_t>(v)] = kUndecided;
+        }
+        undo_include(u);
+      }
+    }
+    // Branch 2: exclude u.
+    status_[static_cast<std::size_t>(u)] = kOut;
+    dfs(index + 1, gain, undecided - 1);
+    status_[static_cast<std::size_t>(u)] = kUndecided;
+  }
+
+  const ConflictGraph& cg_;
+  std::vector<int> nodes_;
+  std::vector<std::int8_t>& status_;
+  std::vector<int> pi_local_count_;
+  double deadline_s_;
+  Stopwatch& timer_;
+
+  int best_gain_ = -1;
+  std::vector<std::int8_t> best_assign_;
+  std::uint64_t steps_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+PhaseAssignment assign_phases_specialized(const RegisterGraph& graph,
+                                          double time_limit_s) {
+  const ConflictGraph cg = build_conflict_graph(graph);
+  const std::size_t n = graph.regs.size();
+  std::vector<std::int8_t> status(n, kUndecided);
+
+  // Reduction: self-loop nodes can never be single latches.
+  for (std::size_t u = 0; u < n; ++u) {
+    if (cg.self_loop[u]) status[u] = kOut;
+  }
+  // Reduction: isolated nodes without PI coverage always join S. Degree-1
+  // nodes without PI coverage fold their neighbor out (classic unit-weight
+  // MIS argument: swapping the neighbor for the leaf never loses).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (status[u] != kUndecided || !cg.node_pis[u].empty() ||
+          cg.self_loop[u]) {
+        continue;
+      }
+      int undecided_neighbors = 0;
+      int the_neighbor = -1;
+      bool neighbor_in = false;
+      for (const int v : cg.adj[u]) {
+        if (status[static_cast<std::size_t>(v)] == kIn) neighbor_in = true;
+        if (status[static_cast<std::size_t>(v)] == kUndecided) {
+          ++undecided_neighbors;
+          the_neighbor = v;
+        }
+      }
+      if (neighbor_in) {
+        status[u] = kOut;
+        changed = true;
+      } else if (undecided_neighbors == 0) {
+        status[u] = kIn;  // isolated (all neighbors decided out)
+        changed = true;
+      } else if (undecided_neighbors == 1) {
+        status[u] = kIn;
+        status[static_cast<std::size_t>(the_neighbor)] = kOut;
+        changed = true;
+      }
+    }
+  }
+
+  // Connected components over undecided nodes; PIs glue the nodes they
+  // cover into one component (penalties couple their decisions).
+  std::vector<int> component(n, -1);
+  std::vector<std::vector<int>> components;
+  std::vector<std::vector<int>> pi_nodes(static_cast<std::size_t>(cg.num_pis));
+  for (std::size_t u = 0; u < n; ++u) {
+    if (status[u] != kUndecided) continue;
+    for (const int p : cg.node_pis[u]) {
+      pi_nodes[static_cast<std::size_t>(p)].push_back(static_cast<int>(u));
+    }
+  }
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (status[seed] != kUndecided || component[seed] != -1) continue;
+    std::vector<int> members;
+    std::vector<int> stack{static_cast<int>(seed)};
+    component[seed] = static_cast<int>(components.size());
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      members.push_back(u);
+      auto visit = [&](int v) {
+        if (status[static_cast<std::size_t>(v)] == kUndecided &&
+            component[static_cast<std::size_t>(v)] == -1) {
+          component[static_cast<std::size_t>(v)] =
+              static_cast<int>(components.size());
+          stack.push_back(v);
+        }
+      };
+      for (const int v : cg.adj[static_cast<std::size_t>(u)]) visit(v);
+      for (const int p : cg.node_pis[static_cast<std::size_t>(u)]) {
+        for (const int v : pi_nodes[static_cast<std::size_t>(p)]) visit(v);
+      }
+    }
+    components.push_back(std::move(members));
+  }
+
+  Stopwatch timer;
+  bool optimal = true;
+  for (auto& members : components) {
+    ComponentSearch search(cg, std::move(members), status, time_limit_s,
+                           timer);
+    optimal &= search.run();
+  }
+
+  std::vector<std::uint8_t> k(n, 0);
+  for (std::size_t u = 0; u < n; ++u) k[u] = (status[u] == kIn) ? 1 : 0;
+  PhaseAssignment a = assignment_from_k(graph, std::move(k));
+  a.optimal = optimal;
+  return a;
+}
+
+}  // namespace tp

@@ -1,0 +1,205 @@
+#include "src/place/fm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "src/util/log.hpp"
+#include "src/util/rng.hpp"
+
+namespace tp {
+namespace {
+
+/// Classic FM pass machinery: per-vertex gains in a bucket structure,
+/// tentative moves with locking, best-prefix rollback.
+class FmPass {
+ public:
+  FmPass(const std::vector<std::int64_t>& weights,
+         const std::vector<std::vector<int>>& hyperedges,
+         std::vector<std::uint8_t>& side, double balance_tolerance)
+      : weights_(weights),
+        hyperedges_(hyperedges),
+        side_(side),
+        num_vertices_(weights.size()) {
+    pins_.resize(num_vertices_);
+    for (int e = 0; e < static_cast<int>(hyperedges_.size()); ++e) {
+      for (const int v : hyperedges_[static_cast<std::size_t>(e)]) {
+        pins_[static_cast<std::size_t>(v)].push_back(e);
+      }
+    }
+    const std::int64_t total =
+        std::accumulate(weights.begin(), weights.end(), std::int64_t{0});
+    lo_ = static_cast<std::int64_t>(
+        (0.5 - balance_tolerance) * static_cast<double>(total));
+    hi_ = static_cast<std::int64_t>(
+        (0.5 + balance_tolerance) * static_cast<double>(total));
+  }
+
+  /// One pass; returns the cut improvement (>= 0 kept, 0 means converged).
+  std::int64_t run() {
+    // Side-0 weight and per-edge side counts.
+    std::int64_t w0 = 0;
+    for (std::size_t v = 0; v < num_vertices_; ++v) {
+      if (!side_[v]) w0 += weights_[v];
+    }
+    std::vector<std::array<int, 2>> edge_count(hyperedges_.size(), {0, 0});
+    for (std::size_t e = 0; e < hyperedges_.size(); ++e) {
+      for (const int v : hyperedges_[e]) {
+        ++edge_count[e][side_[static_cast<std::size_t>(v)]];
+      }
+    }
+    // Initial gains: an edge contributes +1 when the vertex is its only pin
+    // on its side (moving uncuts it), -1 when the other side is empty
+    // (moving cuts it).
+    std::vector<std::int64_t> gain(num_vertices_, 0);
+    for (std::size_t v = 0; v < num_vertices_; ++v) {
+      const int from = side_[v];
+      for (const int e : pins_[v]) {
+        const auto& c = edge_count[static_cast<std::size_t>(e)];
+        if (c[from] == 1) ++gain[v];
+        if (c[1 - from] == 0) --gain[v];
+      }
+    }
+
+    std::vector<std::uint8_t> locked(num_vertices_, 0);
+    std::vector<int> moves;
+    std::vector<std::int64_t> prefix_gain;
+    std::int64_t running = 0;
+
+    for (std::size_t step = 0; step < num_vertices_; ++step) {
+      // Pick the best movable unlocked vertex that keeps balance.
+      int best = -1;
+      std::int64_t best_gain = 0;
+      for (std::size_t v = 0; v < num_vertices_; ++v) {
+        if (locked[v]) continue;
+        const std::int64_t new_w0 =
+            side_[v] ? w0 + weights_[v] : w0 - weights_[v];
+        if (new_w0 < lo_ || new_w0 > hi_) continue;
+        if (best < 0 || gain[v] > best_gain) {
+          best = static_cast<int>(v);
+          best_gain = gain[v];
+        }
+      }
+      if (best < 0) break;
+      // Apply the tentative move and update neighbor gains.
+      const auto bv = static_cast<std::size_t>(best);
+      const int from = side_[bv];
+      const int to = 1 - from;
+      locked[bv] = 1;
+      w0 += side_[bv] ? weights_[bv] : -weights_[bv];
+      for (const int e : pins_[bv]) {
+        auto& c = edge_count[static_cast<std::size_t>(e)];
+        // Gain updates follow the standard FM case analysis.
+        if (c[to] == 0) {
+          for (const int u : hyperedges_[static_cast<std::size_t>(e)]) {
+            if (!locked[static_cast<std::size_t>(u)]) {
+              ++gain[static_cast<std::size_t>(u)];
+            }
+          }
+        } else if (c[to] == 1) {
+          for (const int u : hyperedges_[static_cast<std::size_t>(e)]) {
+            if (!locked[static_cast<std::size_t>(u)] &&
+                side_[static_cast<std::size_t>(u)] == to) {
+              --gain[static_cast<std::size_t>(u)];
+            }
+          }
+        }
+        --c[from];
+        ++c[to];
+        if (c[from] == 0) {
+          for (const int u : hyperedges_[static_cast<std::size_t>(e)]) {
+            if (!locked[static_cast<std::size_t>(u)]) {
+              --gain[static_cast<std::size_t>(u)];
+            }
+          }
+        } else if (c[from] == 1) {
+          for (const int u : hyperedges_[static_cast<std::size_t>(e)]) {
+            if (!locked[static_cast<std::size_t>(u)] &&
+                side_[static_cast<std::size_t>(u)] == from) {
+              ++gain[static_cast<std::size_t>(u)];
+            }
+          }
+        }
+      }
+      side_[bv] = static_cast<std::uint8_t>(to);
+      running += best_gain;
+      moves.push_back(best);
+      prefix_gain.push_back(running);
+    }
+
+    // Keep the best prefix, undo the rest.
+    std::int64_t best_running = 0;
+    std::size_t best_prefix = 0;
+    for (std::size_t i = 0; i < prefix_gain.size(); ++i) {
+      if (prefix_gain[i] > best_running) {
+        best_running = prefix_gain[i];
+        best_prefix = i + 1;
+      }
+    }
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const auto v = static_cast<std::size_t>(moves[i - 1]);
+      side_[v] ^= 1;
+    }
+    return best_running;
+  }
+
+ private:
+  const std::vector<std::int64_t>& weights_;
+  const std::vector<std::vector<int>>& hyperedges_;
+  std::vector<std::uint8_t>& side_;
+  std::size_t num_vertices_;
+  std::vector<std::vector<int>> pins_;
+  std::int64_t lo_ = 0, hi_ = 0;
+};
+
+std::int64_t cut_size(const std::vector<std::vector<int>>& hyperedges,
+                      const std::vector<std::uint8_t>& side) {
+  std::int64_t cut = 0;
+  for (const auto& edge : hyperedges) {
+    bool s0 = false, s1 = false;
+    for (const int v : edge) {
+      (side[static_cast<std::size_t>(v)] ? s1 : s0) = true;
+    }
+    cut += (s0 && s1);
+  }
+  return cut;
+}
+
+}  // namespace
+
+FmResult fm_bipartition(const std::vector<std::int64_t>& weights,
+                        const std::vector<std::vector<int>>& hyperedges,
+                        const FmOptions& options) {
+  FmResult result;
+  const std::size_t n = weights.size();
+  result.side.assign(n, 0);
+  if (n <= 1) {
+    result.cut = 0;
+    return result;
+  }
+  // Random area-balanced initial split.
+  Rng rng(options.seed);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::int64_t total =
+      std::accumulate(weights.begin(), weights.end(), std::int64_t{0});
+  std::int64_t w0 = 0;
+  for (const int v : order) {
+    const auto sv = static_cast<std::size_t>(v);
+    if (w0 < total / 2) {
+      result.side[sv] = 0;
+      w0 += weights[sv];
+    } else {
+      result.side[sv] = 1;
+    }
+  }
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    FmPass fm(weights, hyperedges, result.side, options.balance_tolerance);
+    if (fm.run() <= 0) break;
+  }
+  result.cut = cut_size(hyperedges, result.side);
+  return result;
+}
+
+}  // namespace tp

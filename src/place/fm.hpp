@@ -1,0 +1,31 @@
+// Fiduccia-Mattheyses bipartitioning on a cell hypergraph.
+//
+// Used by the recursive min-cut placer. The interface is a plain hypergraph
+// (vertices with weights, hyperedges as vertex lists) so it is testable
+// independently of the netlist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tp {
+
+struct FmOptions {
+  /// Allowed deviation of side-0 weight from half the total (fraction).
+  double balance_tolerance = 0.1;
+  int max_passes = 6;
+  std::uint64_t seed = 1;
+};
+
+struct FmResult {
+  std::vector<std::uint8_t> side;  // per vertex: 0 or 1
+  std::int64_t cut = 0;            // hyperedges spanning both sides
+};
+
+/// Partitions the hypergraph into two balanced sides minimizing the number
+/// of cut hyperedges. `weights` are vertex areas (scaled to integers).
+FmResult fm_bipartition(const std::vector<std::int64_t>& weights,
+                        const std::vector<std::vector<int>>& hyperedges,
+                        const FmOptions& options = {});
+
+}  // namespace tp

@@ -1,0 +1,228 @@
+#include "src/place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/place/fm.hpp"
+#include "src/util/rng.hpp"
+
+namespace tp {
+namespace {
+
+struct Region {
+  double x0, y0, x1, y1;
+  std::vector<CellId> cells;
+};
+
+/// Splits `cells` into two area-balanced halves ordered by a BFS over the
+/// connectivity (cheap locality above the FM threshold).
+std::pair<std::vector<CellId>, std::vector<CellId>> connectivity_split(
+    const Netlist& netlist, const std::vector<std::int64_t>& weights,
+    const std::vector<CellId>& cells) {
+  std::vector<std::uint8_t> in_set(netlist.num_cells(), 0);
+  std::vector<int> index_of(netlist.num_cells(), -1);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    in_set[cells[i].value()] = 1;
+    index_of[cells[i].value()] = static_cast<int>(i);
+  }
+  std::vector<std::uint8_t> visited(cells.size(), 0);
+  std::vector<CellId> order;
+  order.reserve(cells.size());
+  for (const CellId seed : cells) {
+    if (visited[static_cast<std::size_t>(index_of[seed.value()])]) continue;
+    std::vector<CellId> queue{seed};
+    visited[static_cast<std::size_t>(index_of[seed.value()])] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const CellId u = queue[head];
+      order.push_back(u);
+      auto visit_net = [&](NetId net) {
+        const Net& n = netlist.net(net);
+        if (n.fanouts.size() > 16) return;  // skip high-fanout nets
+        auto visit_cell = [&](CellId c) {
+          if (!c.valid() || !in_set[c.value()]) return;
+          auto& v = visited[static_cast<std::size_t>(index_of[c.value()])];
+          if (!v) {
+            v = 1;
+            queue.push_back(c);
+          }
+        };
+        visit_cell(n.driver);
+        for (const PinRef& ref : n.fanouts) visit_cell(ref.cell);
+      };
+      const Cell& cell = netlist.cell(u);
+      for (const NetId in : cell.ins) visit_net(in);
+      if (cell.out.valid()) visit_net(cell.out);
+    }
+  }
+  const std::int64_t total = std::accumulate(
+      cells.begin(), cells.end(), std::int64_t{0},
+      [&](std::int64_t acc, CellId c) { return acc + weights[c.value()]; });
+  std::pair<std::vector<CellId>, std::vector<CellId>> halves;
+  std::int64_t w0 = 0;
+  for (const CellId c : order) {
+    if (w0 < total / 2) {
+      halves.first.push_back(c);
+      w0 += weights[c.value()];
+    } else {
+      halves.second.push_back(c);
+    }
+  }
+  return halves;
+}
+
+std::pair<std::vector<CellId>, std::vector<CellId>> fm_split(
+    const Netlist& netlist, const std::vector<std::int64_t>& weights,
+    const std::vector<CellId>& cells, std::uint64_t seed) {
+  std::vector<int> index_of(netlist.num_cells(), -1);
+  std::vector<std::int64_t> local_weights(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    index_of[cells[i].value()] = static_cast<int>(i);
+    local_weights[i] = weights[cells[i].value()];
+  }
+  // Hyperedges: nets with >= 2 pins inside the partition.
+  std::vector<std::vector<int>> hyperedges;
+  for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(NetId{n});
+    if (!net.alive) continue;
+    std::vector<int> members;
+    auto add = [&](CellId c) {
+      if (c.valid() && index_of[c.value()] >= 0) {
+        members.push_back(index_of[c.value()]);
+      }
+    };
+    add(net.driver);
+    for (const PinRef& ref : net.fanouts) add(ref.cell);
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    if (members.size() >= 2) hyperedges.push_back(std::move(members));
+  }
+  FmOptions options;
+  options.seed = seed;
+  const FmResult result =
+      fm_bipartition(local_weights, hyperedges, options);
+  std::pair<std::vector<CellId>, std::vector<CellId>> halves;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    (result.side[i] ? halves.second : halves.first).push_back(cells[i]);
+  }
+  // Degenerate FM outcome: fall back to an arbitrary balanced split.
+  if (halves.first.empty() || halves.second.empty()) {
+    halves.first.clear();
+    halves.second.clear();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      (i % 2 ? halves.second : halves.first).push_back(cells[i]);
+    }
+  }
+  return halves;
+}
+
+}  // namespace
+
+double Placement::net_hpwl_um(const Netlist& netlist, NetId net_id) const {
+  const Net& net = netlist.net(net_id);
+  double x0 = 1e30, y0 = 1e30, x1 = -1e30, y1 = -1e30;
+  int pins = 0;
+  auto add = [&](CellId c) {
+    if (!c.valid()) return;
+    const auto& [x, y] = pos[c.value()];
+    x0 = std::min(x0, x);
+    y0 = std::min(y0, y);
+    x1 = std::max(x1, x);
+    y1 = std::max(y1, y);
+    ++pins;
+  };
+  add(net.driver);
+  for (const PinRef& ref : net.fanouts) add(ref.cell);
+  if (pins < 2) return 0;
+  return (x1 - x0) + (y1 - y0);
+}
+
+double Placement::total_hpwl_um(const Netlist& netlist) const {
+  double total = 0;
+  for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
+    if (netlist.net(NetId{n}).alive) {
+      total += net_hpwl_um(netlist, NetId{n});
+    }
+  }
+  return total;
+}
+
+double Placement::net_cap_ff(const Netlist& netlist,
+                             const CellLibrary& library, NetId net) const {
+  double cap = net_hpwl_um(netlist, net) * library.wire_cap_per_um_ff();
+  for (const PinRef& ref : netlist.net(net).fanouts) {
+    cap += library.pin_cap_ff(netlist.cell(ref.cell).kind,
+                              static_cast<int>(ref.pin));
+  }
+  return cap;
+}
+
+Placement place(const Netlist& netlist, const CellLibrary& library,
+                const PlaceOptions& options) {
+  Placement placement;
+  placement.pos.assign(netlist.num_cells(), {0.0, 0.0});
+
+  std::vector<CellId> cells;
+  std::vector<std::int64_t> weights(netlist.num_cells(), 0);
+  double total_area = 0;
+  for (const CellId id : netlist.live_cells()) {
+    const CellKind kind = netlist.cell(id).kind;
+    if (kind == CellKind::kInput || kind == CellKind::kOutput ||
+        kind == CellKind::kConst0 || kind == CellKind::kConst1) {
+      continue;
+    }
+    const double area = library.params(kind).area_um2;
+    weights[id.value()] =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(area * 100));
+    total_area += area;
+    cells.push_back(id);
+  }
+  const double die =
+      std::sqrt(std::max(total_area, 1.0) / options.utilization);
+  placement.width_um = die;
+  placement.height_um = die;
+  if (cells.empty()) return placement;
+
+  Rng rng(options.seed);
+  std::vector<Region> stack{{0, 0, die, die, std::move(cells)}};
+  while (!stack.empty()) {
+    Region region = std::move(stack.back());
+    stack.pop_back();
+    if (static_cast<int>(region.cells.size()) <= options.leaf_size) {
+      // Grid the leaf cells inside the region.
+      const int cols = static_cast<int>(
+          std::ceil(std::sqrt(static_cast<double>(region.cells.size()))));
+      for (std::size_t i = 0; i < region.cells.size(); ++i) {
+        const int r = static_cast<int>(i) / cols;
+        const int c = static_cast<int>(i) % cols;
+        placement.pos[region.cells[i].value()] = {
+            region.x0 + (region.x1 - region.x0) * (c + 0.5) / cols,
+            region.y0 + (region.y1 - region.y0) * (r + 0.5) / cols};
+      }
+      continue;
+    }
+    const auto halves =
+        static_cast<int>(region.cells.size()) <= options.fm_threshold
+            ? fm_split(netlist, weights, region.cells, rng.next())
+            : connectivity_split(netlist, weights, region.cells);
+    const bool split_x = (region.x1 - region.x0) >= (region.y1 - region.y0);
+    Region a = region, b = region;
+    if (split_x) {
+      const double mid = (region.x0 + region.x1) / 2;
+      a.x1 = mid;
+      b.x0 = mid;
+    } else {
+      const double mid = (region.y0 + region.y1) / 2;
+      a.y1 = mid;
+      b.y0 = mid;
+    }
+    a.cells = std::move(halves.first);
+    b.cells = std::move(halves.second);
+    stack.push_back(std::move(a));
+    stack.push_back(std::move(b));
+  }
+  return placement;
+}
+
+}  // namespace tp

@@ -1,0 +1,49 @@
+// Recursive min-cut placement.
+//
+// Stands in for the commercial place step of the paper's flow: it assigns
+// every live cell a position in a square die sized by total area over a
+// target utilization, by recursively bipartitioning the netlist (FM below a
+// size threshold, connectivity-ordered splitting above it) and halving the
+// region along its longer side. The result feeds the wireload model (net
+// capacitance from half-perimeter wirelength) and clock-tree synthesis.
+#pragma once
+
+#include <vector>
+
+#include "src/library/cell_library.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct PlaceOptions {
+  double utilization = 0.7;
+  /// Partitions at or below this size are refined with FM; larger ones are
+  /// split by connectivity order (keeps the placer near-linear).
+  int fm_threshold = 1500;
+  int leaf_size = 8;
+  std::uint64_t seed = 1;
+};
+
+struct Placement {
+  /// Position per cell id (dead cells keep {0, 0}); microns.
+  std::vector<std::pair<double, double>> pos;
+  double width_um = 0;
+  double height_um = 0;
+
+  /// Half-perimeter wirelength of one net (um); 0 for degenerate nets.
+  [[nodiscard]] double net_hpwl_um(const Netlist& netlist, NetId net) const;
+
+  /// Total HPWL over live nets (um).
+  [[nodiscard]] double total_hpwl_um(const Netlist& netlist) const;
+
+  /// Net capacitance under the placement-based wireload model: pin caps
+  /// plus wire cap per HPWL micron.
+  [[nodiscard]] double net_cap_ff(const Netlist& netlist,
+                                  const CellLibrary& library,
+                                  NetId net) const;
+};
+
+Placement place(const Netlist& netlist, const CellLibrary& library,
+                const PlaceOptions& options = {});
+
+}  // namespace tp

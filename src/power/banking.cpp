@@ -1,0 +1,81 @@
+#include "src/power/banking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tp {
+
+BankingReport analyze_banking(const Netlist& netlist,
+                              const CellLibrary& library,
+                              const Placement& placement,
+                              const ActivityStats& activity,
+                              const BankingOptions& options) {
+  BankingReport report;
+  report.banks_by_size.assign(
+      static_cast<std::size_t>(options.max_bank_bits) + 1, 0);
+  const auto period = static_cast<double>(netlist.clocks().period_ps);
+  require(period > 0, "analyze_banking: no clock spec");
+
+  // Group registers by clock net.
+  std::map<std::uint32_t, std::vector<CellId>> by_clock;
+  for (const CellId id : netlist.registers()) {
+    const Cell& cell = netlist.cell(id);
+    const int pin = clock_pin(cell.kind);
+    by_clock[cell.ins[static_cast<std::size_t>(pin)].value()].push_back(id);
+  }
+
+  for (const auto& [clock_net, members] : by_clock) {
+    if (members.size() < 2) continue;
+    report.candidate_latches += static_cast<int>(members.size());
+    const double edge_rate = activity.toggle_rate(NetId{clock_net});
+
+    // Greedy spatial clustering in Morton-ish order: sort by (x + y) then
+    // chain members within the cluster radius.
+    std::vector<CellId> order = members;
+    std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+      const auto& [ax, ay] = placement.pos[a.value()];
+      const auto& [bx, by] = placement.pos[b.value()];
+      return ax + ay < bx + by;
+    });
+    std::vector<CellId> bank;
+    auto flush = [&]() {
+      const int bits = static_cast<int>(bank.size());
+      double before = 0;
+      for (const CellId id : bank) {
+        before += library.params(netlist.cell(id).kind).clock_energy_fj *
+                  edge_rate;
+      }
+      report.clock_power_before_mw += before / period;
+      if (bits >= 2) {
+        const double shared =
+            options.shared_fraction +
+            (1.0 - options.shared_fraction) / static_cast<double>(bits);
+        report.clock_power_after_mw += before * shared / period;
+        report.banked_latches += bits;
+        ++report.banks;
+        ++report.banks_by_size[static_cast<std::size_t>(
+            std::min(bits, options.max_bank_bits))];
+      } else {
+        report.clock_power_after_mw += before / period;
+      }
+      bank.clear();
+    };
+    for (const CellId id : order) {
+      if (!bank.empty()) {
+        const auto& [px, py] = placement.pos[bank.back().value()];
+        const auto& [x, y] = placement.pos[id.value()];
+        const double distance = std::hypot(x - px, y - py);
+        if (static_cast<int>(bank.size()) >= options.max_bank_bits ||
+            distance > options.cluster_radius_um) {
+          flush();
+        }
+      }
+      bank.push_back(id);
+    }
+    flush();
+  }
+  return report;
+}
+
+}  // namespace tp

@@ -1,0 +1,54 @@
+// Multi-bit register banking analysis (the paper's Sec. IV-D closing
+// remark: coupling multi-bit registers with multi-bit clock gating "may
+// yield more power savings [25], but this is outside the scope of this
+// paper"). This module quantifies that future work without rebuilding the
+// netlist: latches that share a clock (or gated-clock) net and sit close
+// together in the placement are grouped into 2/4/8-bit banks, and the
+// clock-power delta is estimated from the library's multi-bit sharing
+// model (one shared clock pin + per-bank internal clocking instead of
+// per-bit).
+#pragma once
+
+#include <vector>
+
+#include "src/place/placer.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tp {
+
+struct BankingOptions {
+  int max_bank_bits = 8;
+  /// Maximum placement distance (um) between members of a bank.
+  double cluster_radius_um = 12.0;
+  /// Clock energy of an n-bit bank relative to n single cells: the shared
+  /// local clock buffering amortizes, the storage energy does not.
+  /// E_bank(n) = n * clock_energy * (shared_fraction + (1 - shared_fraction) / n)
+  double shared_fraction = 0.55;
+};
+
+struct BankingReport {
+  int candidate_latches = 0;  // latches on multi-sink clock nets
+  int banked_latches = 0;     // latches placed into banks of >= 2 bits
+  int banks = 0;
+  std::vector<int> banks_by_size;  // index = bits, value = count
+  double clock_power_before_mw = 0;  // register clocking energy, per-bit
+  double clock_power_after_mw = 0;   // with banks sharing clock internals
+  [[nodiscard]] double saving_pct() const {
+    return clock_power_before_mw > 0
+               ? 100.0 *
+                     (clock_power_before_mw - clock_power_after_mw) /
+                     clock_power_before_mw
+               : 0.0;
+  }
+};
+
+/// Analyzes the banking opportunity of a (typically converted) design.
+/// `activity` supplies per-clock-net toggle rates so gated banks are
+/// weighted by how often they actually pulse.
+BankingReport analyze_banking(const Netlist& netlist,
+                              const CellLibrary& library,
+                              const Placement& placement,
+                              const ActivityStats& activity,
+                              const BankingOptions& options = {});
+
+}  // namespace tp

@@ -1,0 +1,44 @@
+// Activity-based power estimation with the paper's reporting groups.
+//
+// Table II decomposes power into Clock (clock network: trees, ICGs, clock
+// nets, register clock pins and clock-pin-induced register internal power),
+// Seq (register data-path internal + register output nets), and Comb
+// (everything else). Each live cell's internal energy, its
+// output-net switching energy, and its leakage are attributed to the group
+// of the driving cell:
+//   clock cells / clock nets -> Clock
+//   registers                -> Seq (internal clocking energy included)
+//   combinational / PI nets  -> Comb
+//
+// Energies integrate simulator toggle counts: P[mW] = E[fJ/cycle] / Tc[ps].
+// When a Placement is supplied, net capacitance uses half-perimeter
+// wirelength; otherwise the library's default per-fanout wire cap. When a
+// ClockTreeReport is supplied, each clock net additionally carries its tree
+// wire capacitance and buffers (cap + internal energy at the net's measured
+// toggle rate, so gated subtrees pay only when they actually pulse).
+#pragma once
+
+#include "src/cts/cts.hpp"
+#include "src/library/cell_library.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tp {
+
+struct PowerBreakdown {
+  double clock_mw = 0;
+  double seq_mw = 0;
+  double comb_mw = 0;
+  double leakage_mw = 0;  // informational; already included in the groups
+
+  [[nodiscard]] double total_mw() const {
+    return clock_mw + seq_mw + comb_mw;
+  }
+};
+
+PowerBreakdown compute_power(const Netlist& netlist,
+                             const CellLibrary& library,
+                             const ActivityStats& activity,
+                             const Placement* placement = nullptr,
+                             const ClockTreeReport* clock_tree = nullptr);
+
+}  // namespace tp

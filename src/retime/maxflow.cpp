@@ -1,0 +1,93 @@
+#include "src/retime/maxflow.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace tp {
+
+MaxFlow::MaxFlow(int num_nodes)
+    : adj_(static_cast<std::size_t>(num_nodes)),
+      level_(static_cast<std::size_t>(num_nodes)),
+      iter_(static_cast<std::size_t>(num_nodes)) {}
+
+int MaxFlow::add_edge(int u, int v, std::int64_t capacity) {
+  const int index = static_cast<int>(edges_.size());
+  edges_.push_back({v, capacity});
+  edges_.push_back({u, 0});
+  adj_[static_cast<std::size_t>(u)].push_back(index);
+  adj_[static_cast<std::size_t>(v)].push_back(index + 1);
+  return index;
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::vector<int> queue{s};
+  level_[static_cast<std::size_t>(s)] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    for (const int e : adj_[static_cast<std::size_t>(u)]) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap > 0 && level_[static_cast<std::size_t>(edge.to)] < 0) {
+        level_[static_cast<std::size_t>(edge.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(int u, int t, std::int64_t pushed) {
+  if (u == t) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(u)];
+  for (; it < adj_[static_cast<std::size_t>(u)].size(); ++it) {
+    const int e = adj_[static_cast<std::size_t>(u)][it];
+    Edge& edge = edges_[static_cast<std::size_t>(e)];
+    if (edge.cap <= 0 ||
+        level_[static_cast<std::size_t>(edge.to)] !=
+            level_[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const std::int64_t got =
+        dfs(edge.to, t, std::min(pushed, edge.cap));
+    if (got > 0) {
+      edge.cap -= got;
+      edges_[static_cast<std::size_t>(e ^ 1)].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int s, int t) {
+  require(s != t, "MaxFlow: s == t");
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (const std::int64_t pushed = dfs(s, t, kInf)) {
+      flow += pushed;
+      if (flow >= kInf) return flow;  // effectively infinite
+    }
+  }
+  return flow;
+}
+
+std::vector<std::uint8_t> MaxFlow::min_cut_side(int s) const {
+  std::vector<std::uint8_t> side(adj_.size(), 0);
+  std::vector<int> queue{s};
+  side[static_cast<std::size_t>(s)] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    for (const int e : adj_[static_cast<std::size_t>(u)]) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap > 0 && !side[static_cast<std::size_t>(edge.to)]) {
+        side[static_cast<std::size_t>(edge.to)] = 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace tp

@@ -1,0 +1,42 @@
+// Dinic max-flow on integer capacities; used by the retiming min-cut.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tp {
+
+class MaxFlow {
+ public:
+  static constexpr std::int64_t kInf = 1'000'000'000;
+
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge u -> v with the given capacity; returns the edge
+  /// index (its residual twin is index ^ 1).
+  int add_edge(int u, int v, std::int64_t capacity);
+
+  /// Runs Dinic from s to t; returns the max-flow value.
+  std::int64_t solve(int s, int t);
+
+  /// After solve(): nodes reachable from s in the residual graph (the
+  /// source side of a minimum cut).
+  [[nodiscard]] std::vector<std::uint8_t> min_cut_side(int s) const;
+
+  struct Edge {
+    int to;
+    std::int64_t cap;
+  };
+  [[nodiscard]] const Edge& edge(int index) const { return edges_[index]; }
+
+ private:
+  bool bfs(int s, int t);
+  std::int64_t dfs(int u, int t, std::int64_t pushed);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace tp

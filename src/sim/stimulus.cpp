@@ -1,0 +1,48 @@
+#include "src/sim/stimulus.hpp"
+
+namespace tp {
+
+Stimulus random_stimulus(std::size_t num_inputs, std::size_t cycles, Rng& rng,
+                         double toggle_probability) {
+  Stimulus stimulus(cycles);
+  std::vector<std::uint8_t> current(num_inputs, 0);
+  for (auto& v : current) v = rng.chance(0.5) ? 1 : 0;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (auto& v : current) {
+      if (rng.chance(toggle_probability)) v ^= 1;
+    }
+    stimulus[c] = current;
+  }
+  return stimulus;
+}
+
+OutputStream run_stream(Simulator& sim, const Stimulus& stimulus,
+                        std::size_t warmup_cycles) {
+  sim.reset();
+  OutputStream stream;
+  stream.reserve(stimulus.size());
+  std::size_t cycle = 0;
+  for (const auto& pi : stimulus) {
+    if (cycle == warmup_cycles) sim.clear_stats();
+    sim.step(pi);
+    if (cycle >= warmup_cycles) stream.push_back(sim.outputs());
+    ++cycle;
+  }
+  return stream;
+}
+
+bool streams_equal(const OutputStream& a, const OutputStream& b) {
+  return first_mismatch(a, b) < 0;
+}
+
+std::ptrdiff_t first_mismatch(const OutputStream& a, const OutputStream& b) {
+  if (a.size() != b.size()) {
+    return static_cast<std::ptrdiff_t>(std::min(a.size(), b.size()));
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace tp

@@ -1,0 +1,40 @@
+// Stimulus generation and output-stream capture.
+//
+// The paper validates conversions by "streaming inputs to the FF-based and
+// latch-based designs and comparing output streams" (Sec. V). These helpers
+// implement that protocol: generate a stimulus, run it through a Simulator,
+// capture the per-cycle primary-output vectors, and compare.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+
+namespace tp {
+
+/// One 0/1 vector per cycle; inner size = number of data primary inputs.
+using Stimulus = std::vector<std::vector<std::uint8_t>>;
+
+/// One 0/1 vector per cycle; inner size = number of primary outputs.
+using OutputStream = std::vector<std::vector<std::uint8_t>>;
+
+/// Pseudo-random stimulus: each input independently toggles with probability
+/// `toggle_probability` per cycle (holding its previous value otherwise), so
+/// activity can be tuned per workload.
+Stimulus random_stimulus(std::size_t num_inputs, std::size_t cycles, Rng& rng,
+                         double toggle_probability = 0.5);
+
+/// Resets the simulator, plays `stimulus`, and returns the output stream.
+/// The first `warmup_cycles` responses are discarded (and excluded from the
+/// activity statistics) so that reset transients do not pollute comparisons.
+OutputStream run_stream(Simulator& sim, const Stimulus& stimulus,
+                        std::size_t warmup_cycles = 4);
+
+/// True when both streams have equal length and identical vectors.
+bool streams_equal(const OutputStream& a, const OutputStream& b);
+
+/// Index of the first differing cycle, or -1 when equal.
+std::ptrdiff_t first_mismatch(const OutputStream& a, const OutputStream& b);
+
+}  // namespace tp

@@ -1,0 +1,37 @@
+#include "src/timing/report.hpp"
+
+#include <sstream>
+
+namespace tp {
+
+std::string format_profile(const TimingProfile& profile,
+                           int worst_endpoints) {
+  std::ostringstream os;
+  os << "worst endpoints (setup / hold, ps):\n";
+  const int n = std::min<int>(worst_endpoints,
+                              static_cast<int>(profile.endpoints.size()));
+  for (int i = 0; i < n; ++i) {
+    const EndpointSlack& e = profile.endpoints[static_cast<std::size_t>(i)];
+    os << "  " << e.name << " [" << phase_name(e.phase) << "]  "
+       << static_cast<long long>(e.setup_slack_ps) << " / "
+       << static_cast<long long>(e.hold_slack_ps) << "\n";
+  }
+  os << "setup TNS " << static_cast<long long>(
+      profile.total_negative_slack_ps)
+     << " ps over " << profile.failing_endpoints << " endpoints\n";
+  os << "slack histogram (bin " << profile.histogram.bin_width_ps
+     << " ps, from " << profile.histogram.min_slack_ps << "):\n";
+  for (std::size_t i = 0; i < profile.histogram.counts.size(); ++i) {
+    const int count = profile.histogram.counts[i];
+    os << "  "
+       << static_cast<long long>(profile.histogram.min_slack_ps +
+                                 static_cast<double>(i) *
+                                     profile.histogram.bin_width_ps)
+       << ": ";
+    for (int j = 0; j < std::min(count, 60); ++j) os << '#';
+    os << ' ' << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tp

@@ -1,0 +1,47 @@
+// Timing reporting: slack histograms and worst-path summaries on top of the
+// SMO analysis in sta.hpp. Used by the benches and the CLI to show where a
+// design's margin lives (e.g. how time borrowing redistributes slack in a
+// converted design compared with the hard FF edges).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/timing/sta.hpp"
+
+namespace tp {
+
+struct EndpointSlack {
+  CellId cell;
+  std::string name;
+  Phase phase = Phase::kNone;
+  double setup_slack_ps = 0;
+  double hold_slack_ps = 0;
+};
+
+struct SlackHistogram {
+  double bin_width_ps = 100;
+  double min_slack_ps = 0;
+  /// counts[i] covers [min + i*bin, min + (i+1)*bin).
+  std::vector<int> counts;
+};
+
+struct TimingProfile {
+  std::vector<EndpointSlack> endpoints;  // sorted by setup slack, ascending
+  SlackHistogram histogram;
+  double total_negative_slack_ps = 0;    // setup TNS
+  int failing_endpoints = 0;
+};
+
+/// Per-endpoint slacks for every register in the design.
+TimingProfile profile_timing(const Netlist& netlist,
+                             const CellLibrary& library,
+                             const TimingOptions& options = {},
+                             double bin_width_ps = 100);
+
+/// Renders "name  phase  setup  hold" rows for the n worst endpoints plus
+/// the histogram, suitable for printing.
+std::string format_profile(const TimingProfile& profile,
+                           int worst_endpoints = 10);
+
+}  // namespace tp

@@ -1,0 +1,393 @@
+#include "src/timing/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <unordered_map>
+
+#include "src/netlist/traverse.hpp"
+#include "src/timing/report.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp {
+namespace {
+
+constexpr double kNegInf = -1e18;
+constexpr double kPosInf = 1e18;
+
+/// Transparency window [r, f] of a register inside the cycle. Flip-flops are
+/// zero-width windows at their sampling edge. Transparent-low latches open
+/// at the fall and close at the next rise (f = rise + Tc for rise == 0).
+struct Window {
+  double r = 0;
+  double f = 0;
+};
+
+Window register_window(const Netlist& netlist, const Cell& cell) {
+  const PhaseWaveform* w = netlist.clocks().find(cell.phase);
+  require(w != nullptr, cat("sta: register ", cell.name,
+                            " has no phase waveform (phase ",
+                            phase_name(cell.phase), ")"));
+  const auto period = static_cast<double>(netlist.clocks().period_ps);
+  switch (cell.kind) {
+    case CellKind::kDff:
+    case CellKind::kDffEn:
+      return {static_cast<double>(w->rise_ps),
+              static_cast<double>(w->rise_ps)};
+    case CellKind::kLatchH:
+    case CellKind::kLatchP:
+      return {static_cast<double>(w->rise_ps),
+              static_cast<double>(w->fall_ps)};
+    case CellKind::kLatchL:
+      return {static_cast<double>(w->fall_ps),
+              static_cast<double>(w->rise_ps) + period};
+    default:
+      throw Error("sta: not a register");
+  }
+}
+
+/// Cycle shift of a launch class relative to a capture close: the intended
+/// capture is the first closing edge strictly after the launcher's own
+/// closing edge (data departing as late as the launch close must still make
+/// the same logical transfer). Same-window pairs (FF-to-FF, pulsed-latch
+/// pairs) therefore shift a full cycle.
+int cycle_shift(double launch_close, double capture_close) {
+  return capture_close > launch_close ? 0 : 1;
+}
+
+struct Analysis {
+  TimingReport report;
+  /// Worst slack per register cell (setup and hold).
+  std::vector<std::pair<CellId, double>> hold_slacks;
+  std::vector<std::pair<CellId, double>> setup_slacks;
+};
+
+Analysis analyze(const Netlist& netlist, const CellLibrary& library,
+                 const TimingOptions& options) {
+  Analysis analysis;
+  TimingReport& report = analysis.report;
+  const auto period = static_cast<double>(netlist.clocks().period_ps);
+  const Levelization lev = levelize(netlist);
+  const std::vector<CellId> registers = netlist.registers();
+
+  // Launch classes: distinct (open, close) register windows plus the
+  // primary-input class (PIs change at cycle start and are FF-like: a
+  // zero-width window at t = 0).
+  std::vector<std::pair<double, double>> classes{{0.0, 0.0}};
+  std::vector<Window> windows(netlist.num_cells());
+  for (const CellId id : registers) {
+    windows[id.value()] = register_window(netlist, netlist.cell(id));
+    classes.push_back({windows[id.value()].r, windows[id.value()].f});
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()),
+                classes.end());
+  const std::size_t num_classes = classes.size();
+  auto class_of = [&](const Window& w) {
+    return static_cast<std::size_t>(
+        std::lower_bound(classes.begin(), classes.end(),
+                         std::make_pair(w.r, w.f)) -
+        classes.begin());
+  };
+
+  // Per-class arrival fields over nets.
+  std::vector<std::vector<double>> arr_max(
+      num_classes, std::vector<double>(netlist.num_nets(), kNegInf));
+  std::vector<std::vector<double>> arr_min(
+      num_classes, std::vector<double>(netlist.num_nets(), kPosInf));
+
+  // Primary-input seeds.
+  const std::size_t pi_class = class_of(Window{0.0, 0.0});
+  for (const CellId pi : netlist.data_inputs()) {
+    const NetId net = netlist.cell(pi).out;
+    arr_max[pi_class][net.value()] = options.input_delay_ps;
+    arr_min[pi_class][net.value()] = options.input_delay_ps;
+  }
+  // Earliest-departure seeds (independent of arrivals: data cannot leave a
+  // register before its window opens).
+  for (const CellId id : registers) {
+    const Cell& cell = netlist.cell(id);
+    const Window& w = windows[id.value()];
+    const double d2q_min = library.params(cell.kind).intrinsic_ps;
+    arr_min[class_of(w)][cell.out.value()] =
+        std::min(arr_min[class_of(w)][cell.out.value()], w.r + d2q_min);
+  }
+
+  auto propagate = [&](std::vector<std::vector<double>>& arr, bool maximize) {
+    for (const CellId id : lev.comb_order) {
+      const Cell& cell = netlist.cell(id);
+      if (is_clock_cell(cell.kind) || !cell.out.valid()) continue;
+      const double delay =
+          maximize ? library.delay_ps(cell.kind,
+                                      library.net_load_ff(netlist, cell.out))
+                   : library.params(cell.kind).intrinsic_ps;
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        double best = maximize ? kNegInf : kPosInf;
+        for (const NetId in : cell.ins) {
+          const double a = arr[c][in.value()];
+          best = maximize ? std::max(best, a) : std::min(best, a);
+        }
+        if (best <= kNegInf || best >= kPosInf) {
+          arr[c][cell.out.value()] = best;
+        } else {
+          arr[c][cell.out.value()] = best + delay;
+        }
+      }
+    }
+  };
+
+  // Earliest arrivals: one pass (seeds are fixed).
+  propagate(arr_min, false);
+
+  // Latest arrivals: fixpoint over register departures (time borrowing).
+  std::vector<double> valid(netlist.num_cells(), kNegInf);
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations < options.max_iterations) {
+    ++iterations;
+    changed = false;
+    propagate(arr_max, true);
+    for (const CellId id : registers) {
+      const Cell& cell = netlist.cell(id);
+      const Window& w = windows[id.value()];
+      // Pulsed latches are edge-sampled: data launched in the same cycle
+      // cannot flow through, so their cycle alignment keys on the sampling
+      // edge; the setup check still grants the [r, f] borrowing window.
+      const double shift_ref = cell.kind == CellKind::kLatchP ? w.r : w.f;
+      double arrival = kNegInf;
+      for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
+        if (static_cast<int>(pin) == clock_pin(cell.kind)) continue;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          const double a = arr_max[c][cell.ins[pin].value()];
+          if (a <= kNegInf) continue;
+          arrival = std::max(
+              arrival, a - period * cycle_shift(classes[c].second,
+                                                shift_ref));
+        }
+      }
+      const double d2q =
+          library.delay_ps(cell.kind,
+                           library.net_load_ff(netlist, cell.out));
+      // Borrowing is clamped at the window close: data arriving later does
+      // not pass (the setup check below reports the violation); without the
+      // clamp, failing feedback loops would diverge instead of converging.
+      const double v = std::max(w.r, std::min(arrival, w.f)) + d2q;
+      if (v > valid[id.value()] + 1e-9) {
+        valid[id.value()] = v;
+        const std::size_t c = class_of(w);
+        if (v > arr_max[c][cell.out.value()]) {
+          arr_max[c][cell.out.value()] = v;
+          changed = true;
+        }
+      }
+    }
+  }
+  report.iterations = iterations;
+  report.converged = !changed;
+
+  // Setup / hold checks at every register.
+  report.setup_ok = true;
+  report.hold_ok = true;
+  report.worst_setup_slack_ps = kPosInf;
+  report.worst_hold_slack_ps = kPosInf;
+  for (const CellId id : registers) {
+    const Cell& cell = netlist.cell(id);
+    const Window& w = windows[id.value()];
+    const CellParams& p = library.params(cell.kind);
+    const double shift_ref =
+        cell.kind == CellKind::kLatchP ? w.r : w.f;
+    double setup_slack_cell = kPosInf;
+    for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
+      if (static_cast<int>(pin) == clock_pin(cell.kind)) continue;
+      const NetId d = cell.ins[pin];
+      double hold_slack = kPosInf;
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        // A launcher with the identical non-zero window is a same-phase
+        // transparent chain (e.g. two p2 latches in series after a merged
+        // retiming cut): data flows through both within the shared window
+        // by design, so there is no previous capture to corrupt. Zero-width
+        // windows (flip-flops) still race and are checked.
+        if (classes[c].first == w.r && classes[c].second == w.f &&
+            w.f > w.r && cell.kind != CellKind::kLatchP) {
+          continue;
+        }
+        const int k = cycle_shift(classes[c].second, shift_ref);
+        const double a_max = arr_max[c][d.value()];
+        if (a_max > kNegInf) {
+          const double slack = (w.f - p.setup_ps) - (a_max - period * k);
+          setup_slack_cell = std::min(setup_slack_cell, slack);
+          if (slack < report.worst_setup_slack_ps) {
+            report.worst_setup_slack_ps = slack;
+            report.worst_setup_point = cell.name;
+          }
+          if (slack < 0) report.setup_ok = false;
+        }
+        const double a_min = arr_min[c][d.value()];
+        if (a_min < kPosInf) {
+          const double slack = (a_min + period * (1 - k)) - w.f -
+                               p.hold_ps - options.hold_uncertainty_ps;
+          hold_slack = std::min(hold_slack, slack);
+        }
+      }
+      if (hold_slack < kPosInf) {
+        analysis.hold_slacks.push_back({id, hold_slack});
+        if (hold_slack < report.worst_hold_slack_ps) {
+          report.worst_hold_slack_ps = hold_slack;
+          report.worst_hold_point = cell.name;
+        }
+        if (hold_slack < 0) report.hold_ok = false;
+      }
+    }
+    if (setup_slack_cell < kPosInf) {
+      analysis.setup_slacks.push_back({id, setup_slack_cell});
+    }
+  }
+
+  // Primary outputs as zero-width capture windows at the cycle boundary.
+  if (options.output_setup_ps >= 0) {
+    for (const CellId po : netlist.outputs()) {
+      if (!netlist.cell(po).alive) continue;
+      const NetId net = netlist.cell(po).ins[0];
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const double a = arr_max[c][net.value()];
+        if (a <= kNegInf) continue;
+        const double slack = (period - options.output_setup_ps) - a;
+        if (slack < report.worst_setup_slack_ps) {
+          report.worst_setup_slack_ps = slack;
+          report.worst_setup_point = netlist.cell(po).name;
+        }
+        if (slack < 0) report.setup_ok = false;
+      }
+    }
+  }
+  if (report.worst_setup_slack_ps >= kPosInf) report.worst_setup_slack_ps = 0;
+  if (report.worst_hold_slack_ps >= kPosInf) report.worst_hold_slack_ps = 0;
+  return analysis;
+}
+
+}  // namespace
+
+TimingReport check_timing(const Netlist& netlist, const CellLibrary& library,
+                          const TimingOptions& options) {
+  return analyze(netlist, library, options).report;
+}
+
+std::int64_t min_period_ps(const Netlist& netlist,
+                           const CellLibrary& library, std::int64_t lo_ps,
+                           std::int64_t hi_ps, std::int64_t step_ps,
+                           const TimingOptions& options) {
+  // Scale all waveforms proportionally to a candidate period. The netlist is
+  // copied once; only its clock spec is rewritten per probe.
+  Netlist scaled = netlist;
+  const ClockSpec original = netlist.clocks();
+  require(original.period_ps > 0, "min_period_ps: no clock spec");
+  auto passes = [&](std::int64_t period) {
+    ClockSpec spec = original;
+    spec.period_ps = period;
+    for (PhaseWaveform& w : spec.phases) {
+      w.rise_ps = w.rise_ps * period / original.period_ps;
+      w.fall_ps = w.fall_ps * period / original.period_ps;
+    }
+    scaled.clocks() = spec;
+    const TimingReport r = check_timing(scaled, library, options);
+    return r.converged && r.setup_ok;
+  };
+  if (!passes(hi_ps)) return hi_ps + 1;
+  while (hi_ps - lo_ps > step_ps) {
+    const std::int64_t mid = (lo_ps + hi_ps) / 2;
+    if (passes(mid)) {
+      hi_ps = mid;
+    } else {
+      lo_ps = mid;
+    }
+  }
+  return hi_ps;
+}
+
+TimingProfile profile_timing(const Netlist& netlist,
+                             const CellLibrary& library,
+                             const TimingOptions& options,
+                             double bin_width_ps) {
+  const Analysis analysis = analyze(netlist, library, options);
+  TimingProfile profile;
+  std::unordered_map<std::uint32_t, double> hold_of;
+  for (const auto& [cell, slack] : analysis.hold_slacks) {
+    const auto it = hold_of.find(cell.value());
+    if (it == hold_of.end() || slack < it->second) {
+      hold_of[cell.value()] = slack;
+    }
+  }
+  for (const auto& [cell, slack] : analysis.setup_slacks) {
+    EndpointSlack e;
+    e.cell = cell;
+    e.name = netlist.cell(cell).name;
+    e.phase = netlist.cell(cell).phase;
+    e.setup_slack_ps = slack;
+    const auto it = hold_of.find(cell.value());
+    e.hold_slack_ps = it == hold_of.end() ? 0 : it->second;
+    profile.endpoints.push_back(std::move(e));
+    if (slack < 0) {
+      ++profile.failing_endpoints;
+      profile.total_negative_slack_ps += -slack;
+    }
+  }
+  std::sort(profile.endpoints.begin(), profile.endpoints.end(),
+            [](const EndpointSlack& a, const EndpointSlack& b) {
+              return a.setup_slack_ps < b.setup_slack_ps;
+            });
+  // Histogram over setup slack.
+  profile.histogram.bin_width_ps = bin_width_ps;
+  if (!profile.endpoints.empty()) {
+    const double lo = profile.endpoints.front().setup_slack_ps;
+    const double hi = profile.endpoints.back().setup_slack_ps;
+    profile.histogram.min_slack_ps =
+        std::floor(lo / bin_width_ps) * bin_width_ps;
+    const int bins = std::max(
+        1, static_cast<int>((hi - profile.histogram.min_slack_ps) /
+                            bin_width_ps) +
+               1);
+    profile.histogram.counts.assign(static_cast<std::size_t>(bins), 0);
+    for (const EndpointSlack& e : profile.endpoints) {
+      const int bin = static_cast<int>(
+          (e.setup_slack_ps - profile.histogram.min_slack_ps) /
+          bin_width_ps);
+      ++profile.histogram.counts[static_cast<std::size_t>(
+          std::clamp(bin, 0, bins - 1))];
+    }
+  }
+  return profile;
+}
+
+HoldRepairResult repair_hold(Netlist& netlist, const CellLibrary& library,
+                             const TimingOptions& options, int max_passes) {
+  HoldRepairResult result;
+  const double buf_delay =
+      library.delay_ps(CellKind::kBuf,
+                       library.params(CellKind::kDff).input_cap_ff +
+                           library.default_wire_cap_per_fanout_ff());
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const Analysis analysis = analyze(netlist, library, options);
+    ++result.passes;
+    bool any = false;
+    for (const auto& [reg, slack] : analysis.hold_slacks) {
+      if (slack >= 0) continue;
+      any = true;
+      const int needed = static_cast<int>(std::ceil(-slack / buf_delay));
+      const Cell& cell = netlist.cell(reg);
+      NetId d = cell.ins[0];
+      for (int b = 0; b < needed; ++b) {
+        const CellId buf = netlist.add_gate(
+            CellKind::kBuf,
+            cat(cell.name, "_holdbuf", pass, "_", b), {d});
+        d = netlist.cell(buf).out;
+        ++result.buffers_inserted;
+      }
+      netlist.replace_input(reg, 0, d);
+    }
+    if (!any) break;
+  }
+  return result;
+}
+
+}  // namespace tp

@@ -1,0 +1,84 @@
+// Static timing analysis for multi-phase latch designs (the SMO model of
+// Sec. II, in operational form).
+//
+// Every latch i has a transparency window [r_i, f_i] inside the common cycle
+// (flip-flops are zero-width windows at their sampling edge, r = f). Data
+// launched by latch j is captured by the first closing edge of latch i that
+// lies strictly after j's opening edge:
+//     k_ji = 0 when f_i > r_j (same cycle), 1 otherwise (next cycle).
+//
+// Latest-arrival fixpoint (time borrowing): the output of latch i becomes
+// valid at  v_i = max(r_i, A_i) + clk2q_i, and the capture-frame arrival is
+//     A_i = max_j ( v_j + Delta_ji - k_ji * Tc ).
+// Because k depends only on the launch window's opening time, arrivals are
+// propagated through the combinational network once per distinct opening
+// time ("launch class"), which keeps the analysis linear in netlist size.
+//
+// Checks (Eq. 2 of the paper, rearranged):
+//     setup:  A_i <= f_i - S_i
+//     hold:   a_i >= f_i + (k_ji - 1) * Tc + H_i + uncertainty, where a_i is
+//             the earliest next-data arrival  r_j + clk2q_min + delta_ji.
+//
+// Clock networks are ideal (zero insertion delay and skew); `uncertainty`
+// models skew/jitter margins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/library/cell_library.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct TimingOptions {
+  double hold_uncertainty_ps = 25.0;
+  /// External arrival of primary inputs after the cycle start; also gives
+  /// PI-to-register paths realistic hold margin.
+  double input_delay_ps = 60.0;
+  /// Required margin at primary outputs before the cycle boundary; POs are
+  /// checked like zero-width capture windows at Tc. Negative disables.
+  double output_setup_ps = -1.0;
+  int max_iterations = 128;
+};
+
+struct TimingReport {
+  bool converged = false;   // arrival fixpoint reached (no structural
+                            // impossibility such as a borrowing loop)
+  bool setup_ok = false;
+  bool hold_ok = false;
+  double worst_setup_slack_ps = 0;
+  double worst_hold_slack_ps = 0;
+  std::string worst_setup_point;  // cell name of the worst capture latch
+  std::string worst_hold_point;
+  int iterations = 0;
+
+  [[nodiscard]] bool ok() const { return converged && setup_ok && hold_ok; }
+};
+
+TimingReport check_timing(const Netlist& netlist, const CellLibrary& library,
+                          const TimingOptions& options = {});
+
+/// Smallest period (binary search, ps resolution `step_ps`) at which setup
+/// passes, scaling all phase windows proportionally. Returns hi bound + 1
+/// when even `hi_ps` fails.
+std::int64_t min_period_ps(const Netlist& netlist,
+                           const CellLibrary& library,
+                           std::int64_t lo_ps, std::int64_t hi_ps,
+                           std::int64_t step_ps = 5,
+                           const TimingOptions& options = {});
+
+struct HoldRepairResult {
+  int buffers_inserted = 0;
+  int passes = 0;
+};
+
+/// Inserts delay buffers in front of capture-register D pins until hold
+/// passes (or `max_passes` is exhausted). The paper's FF baselines need this
+/// padding more than the latch designs — one source of their combinational
+/// power gap.
+HoldRepairResult repair_hold(Netlist& netlist, const CellLibrary& library,
+                             const TimingOptions& options = {},
+                             int max_passes = 10);
+
+}  // namespace tp

@@ -1,0 +1,50 @@
+#include "src/transform/buffering.hpp"
+
+#include "src/util/strcat.hpp"
+
+namespace tp {
+
+BufferingResult buffer_high_fanout(Netlist& netlist,
+                                   const BufferingOptions& options) {
+  BufferingResult result;
+  require(options.max_fanout >= 2, "buffer_high_fanout: max_fanout < 2");
+  // Snapshot net ids first: inserting buffers adds nets that are already
+  // within limits.
+  const std::size_t original_nets = netlist.num_nets();
+  for (std::uint32_t n = 0; n < original_nets; ++n) {
+    const Net& net = netlist.net(NetId{n});
+    if (!net.alive || net.is_clock) continue;
+    if (static_cast<int>(net.fanouts.size()) <= options.max_fanout) continue;
+
+    ++result.nets_buffered;
+    int stage = 0;
+    // Repeatedly split the sink list into buffer-fed groups until the root
+    // drives at most max_fanout pins (buffers included).
+    while (static_cast<int>(netlist.net(NetId{n}).fanouts.size()) >
+           options.max_fanout) {
+      // Copy: rewiring mutates the list.
+      const std::vector<PinRef> sinks = netlist.net(NetId{n}).fanouts;
+      std::size_t index = 0;
+      for (std::size_t start = 0; start < sinks.size();
+           start += static_cast<std::size_t>(options.max_fanout)) {
+        const std::size_t end =
+            std::min(sinks.size(),
+                     start + static_cast<std::size_t>(options.max_fanout));
+        if (end - start < 2 && end == sinks.size()) break;
+        const CellId buf = netlist.add_gate(
+            CellKind::kBuf,
+            cat(netlist.net(NetId{n}).name, "_hfb", stage, "_", index++),
+            {NetId{n}});
+        ++result.buffers_inserted;
+        for (std::size_t i = start; i < end; ++i) {
+          netlist.replace_input(sinks[i].cell, sinks[i].pin,
+                                netlist.cell(buf).out);
+        }
+      }
+      ++stage;
+    }
+  }
+  return result;
+}
+
+}  // namespace tp

@@ -1,0 +1,27 @@
+// High-fanout net buffering (synthesis-style).
+//
+// The delay model is linear in load, so an unbuffered net driving hundreds
+// of pins (stall/enable broadcasts, PI fanout) would dominate every path —
+// just as it would in silicon. This pass rebuilds every high-fanout data
+// net as a balanced buffer tree with bounded fanout per stage, mirroring
+// what logic synthesis does before placement. Clock nets are excluded
+// (clock-tree synthesis owns them).
+#pragma once
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct BufferingOptions {
+  int max_fanout = 12;
+};
+
+struct BufferingResult {
+  int buffers_inserted = 0;
+  int nets_buffered = 0;
+};
+
+BufferingResult buffer_high_fanout(Netlist& netlist,
+                                   const BufferingOptions& options = {});
+
+}  // namespace tp

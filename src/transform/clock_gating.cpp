@@ -1,0 +1,60 @@
+#include "src/transform/clock_gating.hpp"
+
+#include <map>
+#include <vector>
+
+namespace tp {
+
+CgInferenceResult infer_clock_gating(Netlist& netlist,
+                                     const CgInferenceOptions& options) {
+  CgInferenceResult result;
+
+  // Group kDffEn registers by (enable net, clock net): one ICG can serve
+  // exactly the registers that share both.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<CellId>>
+      groups;
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    if (cell.kind == CellKind::kDffEn) {
+      groups[{cell.ins[1].value(), cell.ins[2].value()}].push_back(id);
+    }
+  }
+
+  for (const auto& [key, members] : groups) {
+    const NetId enable{key.first};
+    const NetId clock{key.second};
+    const bool gate = options.style == CgStyle::kGated &&
+                      static_cast<int>(members.size()) >=
+                          options.min_icg_group;
+    if (gate) {
+      const NetId gclk = netlist.add_net("gclk_" + netlist.net(enable).name);
+      netlist.add_cell(CellKind::kIcg, "icg_" + netlist.net(enable).name,
+                       {enable, clock}, gclk,
+                       netlist.cell(members.front()).phase);
+      ++result.icgs_inserted;
+      for (const CellId id : members) {
+        // {D, EN, CK} -> DFF {D, GCLK}.
+        const NetId d = netlist.cell(id).ins[0];
+        netlist.morph_cell(id, CellKind::kDff, {d, gclk});
+        ++result.registers_gated;
+      }
+    } else {
+      for (const CellId id : members) {
+        // {D, EN, CK} -> DFF {mux(Q, D, EN), CK}: the recirculating mux of
+        // Fig. 2(a), which puts a combinational self-loop on the FF.
+        const Cell& cell = netlist.cell(id);
+        const NetId d = cell.ins[0];
+        const NetId q = cell.out;
+        const CellId mux = netlist.add_gate(
+            CellKind::kMux2, netlist.cell(id).name + "_enmux",
+            {q, d, enable});
+        netlist.morph_cell(id, CellKind::kDff,
+                           {netlist.cell(mux).out, clock});
+        ++result.muxes_inserted;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tp

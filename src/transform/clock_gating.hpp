@@ -1,0 +1,39 @@
+// Clock-gating style inference (Fig. 2 of the paper).
+//
+// Benchmark generators emit enable-controlled registers as kDffEn cells (the
+// RTL view). Synthesis lowers each enable group to one of two styles:
+//
+//   kEnabled (Fig. 2(a)): the enable becomes a recirculating mux in front of
+//       a plain DFF — cheap for small groups but creates a combinational
+//       self-loop on the FF, which blocks the single-latch optimization.
+//   kGated (Fig. 2(b)): one integrated clock gate per enable net drives the
+//       group's clock pins — the paper's preferred style, because it leaves
+//       the FF graph free of enable self-loops.
+//
+// As in commercial synthesis, the gated style is only applied to groups of
+// at least `min_icg_group` registers; smaller groups fall back to the mux.
+#pragma once
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+enum class CgStyle { kEnabled, kGated };
+
+struct CgInferenceOptions {
+  CgStyle style = CgStyle::kGated;
+  int min_icg_group = 3;
+};
+
+struct CgInferenceResult {
+  int icgs_inserted = 0;
+  int muxes_inserted = 0;
+  int registers_gated = 0;
+};
+
+/// Lowers every kDffEn in place; afterwards the netlist contains only kDff
+/// registers (plus ICGs and muxes).
+CgInferenceResult infer_clock_gating(Netlist& netlist,
+                                     const CgInferenceOptions& options = {});
+
+}  // namespace tp

@@ -1,0 +1,132 @@
+#include "src/transform/p2_gating.hpp"
+
+#include <map>
+
+#include "src/netlist/traverse.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp {
+namespace {
+
+/// The enable net gating a latch, or an invalid NetId when the latch's gate
+/// chain reaches the phase root without an ICG.
+NetId gating_enable(const Netlist& netlist, CellId latch) {
+  NetId gate = netlist.cell(latch).ins[1];
+  for (;;) {
+    const CellId driver = netlist.net(gate).driver;
+    if (!driver.valid()) return NetId{};
+    const Cell& cell = netlist.cell(driver);
+    if (is_icg(cell.kind)) return cell.ins[0];
+    if (cell.kind == CellKind::kClkBuf) {
+      gate = cell.ins[0];
+      continue;
+    }
+    return NetId{};  // phase root (kInput) or anything else: ungated
+  }
+}
+
+}  // namespace
+
+Phase source_phase(const Netlist& netlist, CellId source) {
+  const Cell& cell = netlist.cell(source);
+  if (cell.kind == CellKind::kInput) return Phase::kP1;
+  return cell.phase;
+}
+
+P2GatingResult gate_p2_latches(Netlist& netlist,
+                               const P2GatingOptions& options) {
+  P2GatingResult result;
+  const ClockSpec& clocks = netlist.clocks();
+  const NetId p2_root = clocks.root(Phase::kP2);
+  const NetId p3_root = clocks.root(Phase::kP3);
+
+  // One CG cell per distinct enable net, shared by all p2 latches it gates.
+  std::map<std::uint32_t, NetId> cg_for_enable;
+
+  for (const CellId id : netlist.registers()) {
+    const Cell& latch = netlist.cell(id);
+    if (latch.phase != Phase::kP2) continue;
+    if (latch.ins[1] != p2_root) continue;  // already gated
+    // All register fan-in sources must be gated by one common enable; a
+    // primary-input source is ungated and disqualifies the latch.
+    const std::vector<CellId> sources = pin_fanin_sources(netlist, id, 0);
+    NetId common_enable;
+    bool ok = !sources.empty();
+    for (const CellId src : sources) {
+      if (netlist.cell(src).kind == CellKind::kInput) {
+        ok = false;
+        break;
+      }
+      const NetId enable = gating_enable(netlist, src);
+      if (!enable.valid() ||
+          (common_enable.valid() && enable != common_enable)) {
+        ok = false;
+        break;
+      }
+      common_enable = enable;
+    }
+    if (!ok || !common_enable.valid()) continue;
+    // A conventional ICG on p2 freezes its enable at the p2 rising edge
+    // (T/3), after p1 latches have already updated. It is therefore only
+    // safe when no p1 latch or primary input feeds the enable; the M1 cell
+    // samples on p3 (closing at the p1 rising edge) and has no such
+    // restriction — the correctness argument of Fig. 3(b).
+    if (!options.use_m1) {
+      bool p1_source = false;
+      NetId en = common_enable;
+      for (const CellId src :
+           pin_fanin_sources_of_net(netlist, en)) {
+        if (source_phase(netlist, src) == Phase::kP1) {
+          p1_source = true;
+          break;
+        }
+      }
+      if (p1_source) continue;
+    }
+
+    auto it = cg_for_enable.find(common_enable.value());
+    if (it == cg_for_enable.end()) {
+      const std::string name =
+          cat("p2cg_", netlist.net(common_enable).name);
+      const NetId gclk = netlist.add_net(name);
+      if (options.use_m1) {
+        netlist.add_cell(CellKind::kIcgM1, name,
+                         {common_enable, p2_root, p3_root}, gclk,
+                         Phase::kP2);
+      } else {
+        netlist.add_cell(CellKind::kIcg, name, {common_enable, p2_root},
+                         gclk, Phase::kP2);
+      }
+      it = cg_for_enable.emplace(common_enable.value(), gclk).first;
+      ++result.p2_cg_cells;
+    }
+    netlist.replace_input(id, 1, it->second);
+    ++result.p2_latches_gated;
+  }
+  return result;
+}
+
+M2Result apply_m2(Netlist& netlist) {
+  M2Result result;
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    if (cell.kind != CellKind::kIcg) continue;
+    if (cell.phase != Phase::kP1 && cell.phase != Phase::kP3) continue;
+    bool same_phase_source = false;
+    for (const CellId src : pin_fanin_sources(netlist, id, 0)) {
+      if (source_phase(netlist, src) == cell.phase) {
+        same_phase_source = true;
+        break;
+      }
+    }
+    if (same_phase_source) {
+      ++result.kept;
+    } else {
+      netlist.morph_cell(id, CellKind::kIcgNoLatch);
+      ++result.converted;
+    }
+  }
+  return result;
+}
+
+}  // namespace tp

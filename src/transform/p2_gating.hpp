@@ -1,0 +1,46 @@
+// Clock gating of the inserted p2 latches (Sec. IV-D, Fig. 3).
+//
+// Common-enable gating: a p2 latch whose fan-in latches are all gated by
+// ICGs sharing one enable net EN can itself be gated by EN. The dedicated
+// p2 CG cell applies modification M1: its internal latch borrows the p3
+// phase instead of an inverter (kIcgM1 with CK = p2, PB = p3). EN is stable
+// when the upstream latches open, so latching it on p3 is safe (Fig. 3(b)).
+//
+// Modification M2: a conventional ICG driving p1 or p3 latches can drop its
+// internal latch (kIcgNoLatch) when no enable path starts from a latch of
+// the same phase — then EN is guaranteed stable while the gated phase is
+// high and clock hazards cannot occur. Primary inputs change at the p1
+// opening edge and therefore count as p1-phase sources.
+#pragma once
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct P2GatingOptions {
+  /// Use the M1 cell (no inverter) for p2 CGs; false = conventional ICG
+  /// (ablation knob).
+  bool use_m1 = true;
+};
+
+struct P2GatingResult {
+  int p2_cg_cells = 0;   // CG cells added for p2 latches
+  int p2_latches_gated = 0;
+};
+
+/// Applies common-enable gating to p2 latches of a converted 3-phase design.
+P2GatingResult gate_p2_latches(Netlist& netlist,
+                               const P2GatingOptions& options = {});
+
+struct M2Result {
+  int converted = 0;  // ICGs whose internal latch was removed
+  int kept = 0;       // ICGs that must keep the latch (same-phase source)
+};
+
+/// Applies modification M2 to the p1/p3 ICGs of a 3-phase design.
+M2Result apply_m2(Netlist& netlist);
+
+/// Phase of a register/PI source as seen by the M2 analysis (PIs are p1).
+Phase source_phase(const Netlist& netlist, CellId source);
+
+}  // namespace tp

@@ -1,0 +1,60 @@
+#include "src/transform/pulsed_latch.hpp"
+
+#include <map>
+
+#include "src/util/strcat.hpp"
+
+namespace tp {
+
+PulsedLatchResult to_pulsed_latch(const Netlist& ff_netlist,
+                                  const PulsedLatchOptions& options) {
+  PulsedLatchResult result{.netlist = ff_netlist};
+  Netlist& nl = result.netlist;
+  nl.set_name(ff_netlist.name() + "_pl");
+  require(nl.clocks().phases.size() == 1,
+          "to_pulsed_latch: expected a single-clock design");
+
+  // The clock root becomes a pulse: high [0, W). Registers keep their
+  // logical sampling edge at t = 0.
+  const PhaseWaveform root_wave = nl.clocks().phases.front();
+  nl.clocks() =
+      single_phase_spec(nl.clocks().period_ps, root_wave.root);
+  nl.clocks().phases.front().fall_ps = options.pulse_width_ps;
+
+  // Group registers by their (possibly gated) clock net; each group of at
+  // most group_size latches shares one pulse generator, modeled as a clock
+  // buffer whose output is the locally generated pulse.
+  std::map<std::uint32_t, std::vector<CellId>> by_clock;
+  for (const CellId id : nl.registers()) {
+    const Cell& cell = nl.cell(id);
+    require(cell.kind == CellKind::kDff,
+            "to_pulsed_latch: expected a pure DFF netlist (run "
+            "infer_clock_gating first)");
+    by_clock[cell.ins[1].value()].push_back(id);
+  }
+  for (const auto& [clock_net, registers] : by_clock) {
+    for (std::size_t start = 0; start < registers.size();
+         start += static_cast<std::size_t>(options.group_size)) {
+      const std::size_t end =
+          std::min(registers.size(),
+                   start + static_cast<std::size_t>(options.group_size));
+      const NetId pulse = nl.add_net(cat(nl.net(NetId{clock_net}).name,
+                                         "_pgen", result.pulse_generators));
+      nl.add_cell(CellKind::kClkBuf,
+                  cat(nl.net(NetId{clock_net}).name, "_pgen",
+                      result.pulse_generators),
+                  {NetId{clock_net}}, pulse, Phase::kClk);
+      ++result.pulse_generators;
+      for (std::size_t i = start; i < end; ++i) {
+        const Cell& cell = nl.cell(registers[i]);
+        nl.morph_cell(registers[i], CellKind::kLatchP,
+                      {cell.ins[0], pulse});
+        nl.set_phase(registers[i], Phase::kClk);
+      }
+    }
+  }
+  nl.validate();
+  return result;
+}
+
+}  // namespace tp

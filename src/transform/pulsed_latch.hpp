@@ -1,0 +1,39 @@
+// Pulsed-latch conversion (the Sec. I alternative the paper argues
+// against).
+//
+// Every flip-flop becomes a transparent-high latch driven by a short clock
+// pulse: nearly edge-triggered behavior at latch cost. Pulse generators are
+// shared among groups of latches (multi-bit pulsed latches, after [9]);
+// gated clocks keep their ICGs, with the pulse generator placed after the
+// gate.
+//
+// The style's known weakness appears mechanically in this flow: every
+// register-to-register path must now exceed the pulse width in minimum
+// delay or receive hold padding (see timing/sta.hpp) — the hold-buffer
+// bill the paper cites as the reason to prefer non-overlapping 3-phase
+// clocks.
+#pragma once
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct PulsedLatchOptions {
+  /// High time of the pulse clock (ps). Wider pulses borrow more time but
+  /// deepen the hold problem.
+  std::int64_t pulse_width_ps = 120;
+  /// Latches sharing one pulse generator.
+  int group_size = 16;
+};
+
+struct PulsedLatchResult {
+  Netlist netlist;
+  int pulse_generators = 0;
+};
+
+/// Converts a copy of `ff_netlist` (pure DFFs; run clock-gating inference
+/// first) to a pulsed-latch design.
+PulsedLatchResult to_pulsed_latch(const Netlist& ff_netlist,
+                                  const PulsedLatchOptions& options = {});
+
+}  // namespace tp

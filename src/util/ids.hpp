@@ -1,0 +1,54 @@
+// Strong index types used across the netlist and derived graphs.
+//
+// Every container in the project is indexed by a dedicated id type so that a
+// CellId can never be accidentally used to subscript a net table. Ids are
+// 32-bit, trivially copyable, hashable, and have a distinguished invalid
+// value (kInvalidIndex) used as "no id".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace tp {
+
+inline constexpr std::uint32_t kInvalidIndex =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// CRTP-free strong id: Tag differentiates unrelated id spaces.
+template <class Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidIndex; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  std::uint32_t value_ = kInvalidIndex;
+};
+
+struct CellTag {};
+struct NetTag {};
+struct NodeTag {};   // generic graph node (FF graph, flow graph, ...)
+struct VarTag {};    // ILP variable
+struct ConsTag {};   // ILP constraint
+
+using CellId = StrongId<CellTag>;
+using NetId = StrongId<NetTag>;
+using NodeId = StrongId<NodeTag>;
+using VarId = StrongId<VarTag>;
+using ConsId = StrongId<ConsTag>;
+
+}  // namespace tp
+
+template <class Tag>
+struct std::hash<tp::StrongId<Tag>> {
+  std::size_t operator()(tp::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

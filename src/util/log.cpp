@@ -1,0 +1,35 @@
+#include "src/util/log.hpp"
+
+#include <cstdio>
+
+namespace tp {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, std::string_view message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+void require(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+}  // namespace tp

@@ -1,0 +1,58 @@
+// Minimal leveled logging to stderr plus wall-clock step timing.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+namespace tp {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+/// Wall-clock stopwatch used for the flow run-time accounting (Sec. V of the
+/// paper reports per-step run-time ratios).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Thrown on violated invariants in library code; carries a human-readable
+/// diagnostic. Used instead of assert() so that misuse of the public API is
+/// reported in release builds too.
+class Error : public std::exception {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+
+ private:
+  std::string message_;
+};
+
+/// Throws tp::Error with `message` when `condition` is false.
+void require(bool condition, std::string_view message);
+
+}  // namespace tp

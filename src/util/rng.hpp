@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic steps in the project (benchmark circuit generation, random
+// stimulus, property-test sweeps) draw from this generator so that every
+// build reproduces the same circuits and the same measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tp {
+
+/// xoshiro256** by Blackman & Vigna; seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// In-place Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tp

@@ -1,0 +1,17 @@
+// String building for diagnostics (GCC 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tp {
+
+/// Concatenates the stream representations of all arguments.
+template <class... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace tp

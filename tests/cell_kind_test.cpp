@@ -1,0 +1,81 @@
+// Exhaustive checks of the cell-kind metadata and boolean semantics that
+// everything else (simulation, timing, Verilog I/O) relies on.
+#include <gtest/gtest.h>
+
+#include "src/netlist/cell_kind.hpp"
+#include "src/util/log.hpp"
+
+namespace tp {
+namespace {
+
+TEST(CellKind, TruthTablesMatchDefinitions) {
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool a = mask & 1, b = mask & 2, c = mask & 4;
+    const bool in2[] = {a, b};
+    const bool in3[] = {a, b, c};
+    EXPECT_EQ(eval_comb(CellKind::kBuf, {in2, 1}), a);
+    EXPECT_EQ(eval_comb(CellKind::kInv, {in2, 1}), !a);
+    EXPECT_EQ(eval_comb(CellKind::kAnd2, {in2, 2}), a && b);
+    EXPECT_EQ(eval_comb(CellKind::kOr2, {in2, 2}), a || b);
+    EXPECT_EQ(eval_comb(CellKind::kNand2, {in2, 2}), !(a && b));
+    EXPECT_EQ(eval_comb(CellKind::kNor2, {in2, 2}), !(a || b));
+    EXPECT_EQ(eval_comb(CellKind::kXor2, {in2, 2}), a != b);
+    EXPECT_EQ(eval_comb(CellKind::kXnor2, {in2, 2}), a == b);
+    EXPECT_EQ(eval_comb(CellKind::kAnd3, {in3, 3}), a && b && c);
+    EXPECT_EQ(eval_comb(CellKind::kOr3, {in3, 3}), a || b || c);
+    EXPECT_EQ(eval_comb(CellKind::kNand3, {in3, 3}), !(a && b && c));
+    EXPECT_EQ(eval_comb(CellKind::kNor3, {in3, 3}), !(a || b || c));
+    EXPECT_EQ(eval_comb(CellKind::kMux2, {in3, 3}), c ? b : a);
+    EXPECT_EQ(eval_comb(CellKind::kAoi21, {in3, 3}), !((a && b) || c));
+    EXPECT_EQ(eval_comb(CellKind::kOai21, {in3, 3}), !((a || b) && c));
+    EXPECT_EQ(eval_comb(CellKind::kMaj3, {in3, 3}),
+              (a && b) || (a && c) || (b && c));
+    EXPECT_EQ(eval_comb(CellKind::kIcgNoLatch, {in2, 2}), a && b);
+    EXPECT_EQ(eval_comb(CellKind::kClkBuf, {in2, 1}), a);
+    EXPECT_EQ(eval_comb(CellKind::kClkInv, {in2, 1}), !a);
+  }
+}
+
+TEST(CellKind, MetadataIsConsistent) {
+  for (int k = 0; k < kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    // Kind names are unique and non-empty.
+    EXPECT_FALSE(cell_kind_name(kind).empty());
+    for (int j = 0; j < k; ++j) {
+      EXPECT_NE(cell_kind_name(kind),
+                cell_kind_name(static_cast<CellKind>(j)));
+    }
+    // Clock pins are valid input positions.
+    const int ck = clock_pin(kind);
+    if (ck >= 0) {
+      EXPECT_LT(ck, num_inputs(kind)) << cell_kind_name(kind);
+    }
+    // Registers and clock cells all have a clock pin.
+    if (is_register(kind) || is_clock_cell(kind)) {
+      EXPECT_GE(ck, 0) << cell_kind_name(kind);
+    }
+    // No kind is both a register and combinational.
+    EXPECT_FALSE(is_register(kind) && is_combinational(kind))
+        << cell_kind_name(kind);
+    // Flip-flops and latches are registers.
+    if (is_flip_flop(kind) || is_latch(kind)) {
+      EXPECT_TRUE(is_register(kind)) << cell_kind_name(kind);
+    }
+    // ICGs are clock cells.
+    if (is_icg(kind)) {
+      EXPECT_TRUE(is_clock_cell(kind));
+    }
+    // Everything except kOutput drives a net.
+    EXPECT_EQ(has_output(kind), kind != CellKind::kOutput);
+  }
+}
+
+TEST(CellKind, EvalRejectsSequentialKinds) {
+  const bool ins[3] = {false, false, false};
+  EXPECT_THROW(eval_comb(CellKind::kDff, {ins, 2}), Error);
+  EXPECT_THROW(eval_comb(CellKind::kLatchH, {ins, 2}), Error);
+  EXPECT_THROW(eval_comb(CellKind::kIcg, {ins, 2}), Error);
+}
+
+}  // namespace
+}  // namespace tp

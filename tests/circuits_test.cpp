@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "src/circuits/benchmark.hpp"
+#include "src/circuits/workload.hpp"
+#include "src/netlist/traverse.hpp"
+#include "src/sim/stimulus.hpp"
+#include "src/timing/sta.hpp"
+#include "src/transform/buffering.hpp"
+#include "src/transform/clock_gating.hpp"
+
+namespace tp::circuits {
+namespace {
+
+/// Paper register counts (Table I, FF column).
+int paper_ffs(const std::string& name) {
+  if (name == "s1196" || name == "s1238") return 18;
+  if (name == "s1423") return 81;
+  if (name == "s1488") return 6;
+  if (name == "s5378") return 163;
+  if (name == "s9234") return 140;
+  if (name == "s13207") return 457;
+  if (name == "s15850") return 454;
+  if (name == "s35932") return 1728;
+  if (name == "s38417") return 1489;
+  if (name == "s38584") return 1319;
+  if (name == "AES") return 9715;
+  if (name == "DES3") return 436;
+  if (name == "SHA256") return 1574;
+  if (name == "MD5") return 804;
+  if (name == "Plasma") return 1606;
+  if (name == "RISCV") return 2795;
+  if (name == "ArmM0") return 1397;
+  return -1;
+}
+
+TEST(Benchmarks, RegistryHasAll18) {
+  EXPECT_EQ(benchmark_names().size(), 18u);
+  EXPECT_THROW(make_benchmark("nonexistent"), Error);
+}
+
+class BenchmarkTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkTest, MatchesPaperRegisterCount) {
+  const Benchmark b = make_benchmark(GetParam());
+  b.netlist.validate();
+  EXPECT_EQ(static_cast<int>(b.netlist.registers().size()),
+            paper_ffs(GetParam()))
+      << GetParam();
+}
+
+TEST_P(BenchmarkTest, IsDeterministic) {
+  const Benchmark a = make_benchmark(GetParam());
+  const Benchmark b = make_benchmark(GetParam());
+  EXPECT_EQ(a.netlist.num_cells(), b.netlist.num_cells());
+  EXPECT_EQ(a.netlist.num_nets(), b.netlist.num_nets());
+}
+
+TEST_P(BenchmarkTest, SimulatesUnderPaperWorkload) {
+  const Benchmark b = make_benchmark(GetParam());
+  // Skip the largest circuit here for test-suite latency; the benches
+  // exercise it.
+  if (b.netlist.num_cells() > 30000) GTEST_SKIP();
+  const Stimulus stim = make_stimulus(b, Workload::kPaperDefault, 32, 3);
+  Simulator sim(b.netlist);
+  const OutputStream out = run_stream(sim, stim, 4);
+  EXPECT_EQ(out.size(), 28u);
+  // Some activity must be visible on the circuit's nets.
+  std::uint64_t toggles = 0;
+  for (const auto t : sim.stats().net_toggles) toggles += t;
+  EXPECT_GT(toggles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkTest,
+                         ::testing::ValuesIn(benchmark_names()));
+
+TEST(Benchmarks, S1488IsControlDominated) {
+  // The paper singles out s1488 as a re-synthesized controller whose FFs
+  // all carry combinational feedback, limiting the conversion's benefit.
+  const Benchmark b = make_benchmark("s1488");
+  const RegisterGraph g = build_register_graph(b.netlist);
+  int with_feedback = 0;
+  for (std::size_t u = 0; u < g.regs.size(); ++u) {
+    // Self-loop or membership in a 2-cycle counts as feedback.
+    if (g.has_self_loop(static_cast<int>(u))) {
+      ++with_feedback;
+      continue;
+    }
+    for (const int v : g.fanout[u]) {
+      const auto& back = g.fanout[static_cast<std::size_t>(v)];
+      if (std::find(back.begin(), back.end(), static_cast<int>(u)) !=
+          back.end()) {
+        ++with_feedback;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(with_feedback, static_cast<int>(g.regs.size()) - 1);
+}
+
+TEST(Benchmarks, CpuRegfileHasNoInternalEdges) {
+  // The register-file words must not feed each other combinationally —
+  // that independence is what the conversion exploits on CPUs.
+  const Benchmark b = make_benchmark("Plasma");
+  const RegisterGraph g = build_register_graph(b.netlist);
+  for (std::size_t u = 0; u < g.regs.size(); ++u) {
+    const std::string& name = b.netlist.cell(g.regs[u]).name;
+    if (name.rfind("rf", 0) != 0) continue;
+    for (const int v : g.fanout[u]) {
+      const std::string& vn =
+          b.netlist.cell(g.regs[static_cast<std::size_t>(v)]).name;
+      EXPECT_NE(vn.rfind("rf", 0), 0u)
+          << name << " feeds " << vn << " combinationally";
+    }
+  }
+}
+
+TEST(Benchmarks, CepKeyBankIsIndependentStorage) {
+  // The crypto cores' enable-gated key banks must have no combinational
+  // FF-to-FF edges among themselves — the structure behind the suite's
+  // above-average conversion gains.
+  const Benchmark b = make_benchmark("DES3");
+  const RegisterGraph g = build_register_graph(b.netlist);
+  for (std::size_t u = 0; u < g.regs.size(); ++u) {
+    const std::string& name = b.netlist.cell(g.regs[u]).name;
+    if (name.rfind("key", 0) != 0) continue;
+    for (const int v : g.fanout[u]) {
+      EXPECT_NE(b.netlist.cell(g.regs[static_cast<std::size_t>(v)])
+                    .name.rfind("key", 0),
+                0u)
+          << name << " feeds another key bit combinationally";
+    }
+  }
+}
+
+TEST(Benchmarks, SuitesMeetTheirPaperFrequencies) {
+  for (const auto& name : benchmark_names()) {
+    const Benchmark b = make_benchmark(name);
+    if (b.netlist.num_cells() > 30000) continue;  // AES: covered in benches
+    Netlist nl = b.netlist;
+    infer_clock_gating(nl);
+    buffer_high_fanout(nl);
+    const TimingReport t =
+        check_timing(nl, CellLibrary::nominal_28nm());
+    EXPECT_TRUE(t.setup_ok)
+        << name << " FF design misses its paper frequency by "
+        << -t.worst_setup_slack_ps << " ps at " << t.worst_setup_point;
+  }
+}
+
+TEST(Workloads, ProfilesDifferInActivity) {
+  const Benchmark b = make_benchmark("ArmM0");
+  auto activity = [&](Workload w) {
+    const Stimulus stim = make_stimulus(b, w, 256, 11);
+    double toggles = 0;
+    for (std::size_t c = 1; c < stim.size(); ++c) {
+      for (std::size_t i = 0; i < stim[c].size(); ++i) {
+        toggles += stim[c][i] != stim[c - 1][i];
+      }
+    }
+    return toggles / static_cast<double>(stim.size());
+  };
+  const double dhrystone = activity(Workload::kDhrystone);
+  const double coremark = activity(Workload::kCoremark);
+  const double paper = activity(Workload::kPaperDefault);
+  // Dhrystone is the hottest steady loop; Coremark mixes phases.
+  EXPECT_GT(dhrystone, coremark);
+  EXPECT_GT(dhrystone, paper);
+  EXPECT_GT(coremark, 0.0);
+}
+
+TEST(Workloads, DeterministicPerSeed) {
+  const Benchmark b = make_benchmark("s5378");
+  EXPECT_EQ(make_stimulus(b, Workload::kPaperDefault, 64, 5),
+            make_stimulus(b, Workload::kPaperDefault, 64, 5));
+  EXPECT_NE(make_stimulus(b, Workload::kPaperDefault, 64, 5),
+            make_stimulus(b, Workload::kPaperDefault, 64, 6));
+}
+
+}  // namespace
+}  // namespace tp::circuits

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "src/ilp/model.hpp"
+#include "src/ilp/solver.hpp"
+#include "src/util/rng.hpp"
+
+namespace tp::ilp {
+namespace {
+
+TEST(IlpModel, MergesDuplicateTerms) {
+  Model m;
+  const VarId x = m.add_binary("x", 1.0);
+  m.add_constraint("c", {{x, 1.0}, {x, 2.0}}, Sense::kGe, 2.0);
+  ASSERT_EQ(m.constraint(ConsId{0}).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.constraint(ConsId{0}).terms[0].coeff, 3.0);
+}
+
+TEST(IlpModel, FeasibilityAndObjective) {
+  Model m;
+  const VarId x = m.add_binary("x", 2.0);
+  const VarId y = m.add_binary("y", 3.0);
+  m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Sense::kGe, 1.0);
+  EXPECT_TRUE(m.feasible({1, 0}));
+  EXPECT_FALSE(m.feasible({0, 0}));
+  EXPECT_DOUBLE_EQ(m.objective_value({1, 1}), 5.0);
+}
+
+TEST(IlpSolver, EmptyModelIsOptimal) {
+  Model m;
+  EXPECT_EQ(solve(m).status, SolveStatus::kOptimal);
+}
+
+TEST(IlpSolver, SimpleCover) {
+  // min x + y + z  s.t.  x + y >= 1, y + z >= 1  -> optimum 1 (y).
+  Model m;
+  const VarId x = m.add_binary("x", 1.0);
+  const VarId y = m.add_binary("y", 1.0);
+  const VarId z = m.add_binary("z", 1.0);
+  m.add_constraint("c1", {{x, 1.0}, {y, 1.0}}, Sense::kGe, 1.0);
+  m.add_constraint("c2", {{y, 1.0}, {z, 1.0}}, Sense::kGe, 1.0);
+  const Solution s = solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, 1.0);
+  EXPECT_EQ(s.values[y.value()], 1);
+}
+
+TEST(IlpSolver, DetectsInfeasible) {
+  Model m;
+  const VarId x = m.add_binary("x", 1.0);
+  m.add_constraint("c1", {{x, 1.0}}, Sense::kGe, 1.0);
+  m.add_constraint("c2", {{x, 1.0}}, Sense::kLe, 0.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(IlpSolver, HonorsEquality) {
+  Model m;
+  const VarId x = m.add_binary("x", -1.0);
+  const VarId y = m.add_binary("y", -1.0);
+  m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Sense::kEq, 1.0);
+  const Solution s = solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, -1.0);
+  EXPECT_EQ(s.values[x.value()] + s.values[y.value()], 1);
+}
+
+TEST(IlpSolver, FixPinsVariable) {
+  Model m;
+  const VarId x = m.add_binary("x", -5.0);
+  m.fix(x, false);
+  const Solution s = solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.values[x.value()], 0);
+}
+
+TEST(IlpSolver, NegativeCoefficients) {
+  // min -x - 2y  s.t.  x + y <= 1  -> pick y, objective -2.
+  Model m;
+  const VarId x = m.add_binary("x", -1.0);
+  const VarId y = m.add_binary("y", -2.0);
+  m.add_constraint("c", {{x, 1.0}, {y, 1.0}}, Sense::kLe, 1.0);
+  const Solution s = solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, -2.0);
+}
+
+/// Brute-force reference: enumerate all assignments.
+double brute_force(const Model& m, bool* feasible_out = nullptr) {
+  const std::size_t n = m.num_vars();
+  double best = 0;
+  bool found = false;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::uint8_t> a(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] = (mask >> i) & 1;
+    if (!m.feasible(a)) continue;
+    const double obj = m.objective_value(a);
+    if (!found || obj < best) {
+      best = obj;
+      found = true;
+    }
+  }
+  if (feasible_out) *feasible_out = found;
+  return best;
+}
+
+class RandomIlpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomIlpTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.range(2, 12));
+  Model m;
+  std::vector<VarId> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(
+        m.add_binary("v" + std::to_string(i),
+                     static_cast<double>(rng.range(-4, 4))));
+  }
+  const int num_cons = static_cast<int>(rng.range(1, 2 * n));
+  for (int c = 0; c < num_cons; ++c) {
+    std::vector<Term> terms;
+    for (const VarId v : vars) {
+      if (rng.chance(0.4)) {
+        terms.push_back({v, static_cast<double>(rng.range(-3, 3))});
+      }
+    }
+    if (terms.empty()) continue;
+    const auto sense = static_cast<Sense>(rng.below(3));
+    m.add_constraint("c" + std::to_string(c), std::move(terms), sense,
+                     static_cast<double>(rng.range(-3, 3)));
+  }
+  bool feasible = false;
+  const double reference = brute_force(m, &feasible);
+  const Solution s = solve(m);
+  if (!feasible) {
+    EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, reference, 1e-9);
+    EXPECT_TRUE(m.feasible(s.values));
+    EXPECT_NEAR(m.objective_value(s.values), s.objective, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomIlpTest, ::testing::Range(0, 60));
+
+// --- closed-form structures ---------------------------------------------------
+
+/// Minimum vertex cover of a path with n vertices is floor(n / 2).
+TEST(IlpSolver, PathVertexCover) {
+  for (const int n : {2, 3, 4, 5, 8, 13, 16}) {
+    Model m;
+    std::vector<VarId> x;
+    for (int i = 0; i < n; ++i) {
+      x.push_back(m.add_binary("x" + std::to_string(i), 1.0));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      m.add_constraint("e" + std::to_string(i),
+                       {{x[static_cast<std::size_t>(i)], 1.0},
+                        {x[static_cast<std::size_t>(i + 1)], 1.0}},
+                       Sense::kGe, 1.0);
+    }
+    const Solution s = solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << n;
+    EXPECT_DOUBLE_EQ(s.objective, n / 2) << n;
+  }
+}
+
+/// Minimum vertex cover of a cycle with n vertices is ceil(n / 2).
+TEST(IlpSolver, CycleVertexCover) {
+  for (const int n : {3, 4, 5, 6, 9, 12, 15}) {
+    Model m;
+    std::vector<VarId> x;
+    for (int i = 0; i < n; ++i) {
+      x.push_back(m.add_binary("x" + std::to_string(i), 1.0));
+    }
+    for (int i = 0; i < n; ++i) {
+      m.add_constraint("e" + std::to_string(i),
+                       {{x[static_cast<std::size_t>(i)], 1.0},
+                        {x[static_cast<std::size_t>((i + 1) % n)], 1.0}},
+                       Sense::kGe, 1.0);
+    }
+    const Solution s = solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << n;
+    EXPECT_DOUBLE_EQ(s.objective, (n + 1) / 2) << n;
+  }
+}
+
+/// Exact set-cover instance with a known optimum of 2 (two big sets cover
+/// everything; singleton decoys are cheaper per set but never sufficient).
+TEST(IlpSolver, SetCoverPicksBigSets) {
+  Model m;
+  const VarId big_a = m.add_binary("bigA", 3.0);
+  const VarId big_b = m.add_binary("bigB", 3.0);
+  std::vector<VarId> singles;
+  for (int i = 0; i < 8; ++i) {
+    singles.push_back(m.add_binary("s" + std::to_string(i), 1.0));
+  }
+  for (int e = 0; e < 8; ++e) {
+    std::vector<Term> terms{{e < 4 ? big_a : big_b, 1.0},
+                            {singles[static_cast<std::size_t>(e)], 1.0}};
+    m.add_constraint("cover" + std::to_string(e), std::move(terms),
+                     Sense::kGe, 1.0);
+  }
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, 6.0);  // both big sets
+  EXPECT_EQ(s.values[big_a.value()], 1);
+  EXPECT_EQ(s.values[big_b.value()], 1);
+}
+
+/// Node and solution statistics behave sanely on an exponential-ish model.
+TEST(IlpSolver, ReportsSearchStatistics) {
+  Model m;
+  std::vector<VarId> x;
+  for (int i = 0; i < 14; ++i) {
+    x.push_back(m.add_binary("x" + std::to_string(i),
+                             (i % 3 == 0) ? -1.0 : 1.0));
+  }
+  for (int i = 0; i + 2 < 14; i += 2) {
+    m.add_constraint("c" + std::to_string(i),
+                     {{x[static_cast<std::size_t>(i)], 1.0},
+                      {x[static_cast<std::size_t>(i + 1)], -1.0},
+                      {x[static_cast<std::size_t>(i + 2)], 1.0}},
+                     Sense::kGe, 0.0);
+  }
+  const Solution s = solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GT(s.nodes, 0u);
+  EXPECT_GE(s.seconds, 0.0);
+}
+
+/// A node limit of 1 still returns the greedy dive's incumbent.
+TEST(IlpSolver, NodeLimitReturnsFeasible) {
+  Model m;
+  std::vector<VarId> x;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(m.add_binary("x" + std::to_string(i), 1.0));
+  }
+  for (int i = 0; i + 1 < 30; ++i) {
+    m.add_constraint("e" + std::to_string(i),
+                     {{x[static_cast<std::size_t>(i)], 1.0},
+                      {x[static_cast<std::size_t>(i + 1)], 1.0}},
+                     Sense::kGe, 1.0);
+  }
+  SolveOptions options;
+  options.node_limit = 40;  // enough for one dive, not for the proof
+  const Solution s = solve(m, options);
+  EXPECT_TRUE(s.status == SolveStatus::kFeasible ||
+              s.status == SolveStatus::kOptimal);
+  if (s.status == SolveStatus::kFeasible) {
+    EXPECT_TRUE(m.feasible(s.values));
+  }
+}
+
+}  // namespace
+}  // namespace tp::ilp

@@ -1,0 +1,104 @@
+// Cross-feature integration matrix: every combination of the flow's
+// optional steps must keep the converted design stream-equivalent to the
+// FF reference, structurally valid, and timing-clean. This is the safety
+// net for feature interactions (e.g. retiming after greedy assignment,
+// DDCG over gated p2 latches).
+#include <gtest/gtest.h>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+
+namespace tp::flow {
+namespace {
+
+struct FeatureCombo {
+  bool retime;
+  bool common_enable;
+  bool m1;
+  bool m2;
+  bool ddcg;
+  bool greedy;
+};
+
+class FeatureMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeatureMatrix, EquivalentValidAndTimed) {
+  const int bits = GetParam();
+  const FeatureCombo combo{
+      .retime = (bits & 1) != 0,
+      .common_enable = (bits & 2) != 0,
+      .m1 = (bits & 4) != 0,
+      .m2 = (bits & 8) != 0,
+      .ddcg = (bits & 16) != 0,
+      .greedy = (bits & 32) != 0,
+  };
+  const circuits::Benchmark bench = circuits::make_benchmark("s9234");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 96, 11);
+  const FlowResult reference =
+      run_flow(bench, DesignStyle::kFlipFlop, stim);
+
+  FlowOptions options;
+  options.retime = combo.retime;
+  options.p2_common_enable_cg = combo.common_enable;
+  options.use_m1 = combo.m1;
+  options.use_m2 = combo.m2;
+  options.ddcg = combo.ddcg;
+  if (combo.greedy) options.assign.method = AssignMethod::kGreedy;
+
+  const FlowResult r =
+      run_flow(bench, DesignStyle::kThreePhase, stim, options);
+  EXPECT_TRUE(streams_equal(reference.outputs, r.outputs))
+      << "combo bits " << bits;
+  EXPECT_NO_THROW(r.netlist.validate());
+  EXPECT_TRUE(r.timing.setup_ok)
+      << "combo bits " << bits << " slack "
+      << r.timing.worst_setup_slack_ps;
+  EXPECT_TRUE(r.timing.hold_ok) << "combo bits " << bits;
+  EXPECT_GT(r.power.total_mw(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, FeatureMatrix, ::testing::Range(0, 64));
+
+TEST(Integration, EnabledStyleSurvivesWholeFlow) {
+  const circuits::Benchmark bench = circuits::make_benchmark("DES3");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 96, 3);
+  FlowOptions enabled;
+  enabled.synthesis_cg.style = CgStyle::kEnabled;
+  const FlowResult ff = run_flow(bench, DesignStyle::kFlipFlop, stim,
+                                 enabled);
+  const FlowResult p3 =
+      run_flow(bench, DesignStyle::kThreePhase, stim, enabled);
+  EXPECT_TRUE(streams_equal(ff.outputs, p3.outputs));
+  // The mux style creates self-loops, so nearly all FFs go back-to-back.
+  EXPECT_GT(p3.inserted_p2, ff.registers / 2);
+}
+
+TEST(Integration, PulsedLatchFlowIsEquivalent) {
+  const circuits::Benchmark bench = circuits::make_benchmark("s9234");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 96, 5);
+  const FlowResult ff = run_flow(bench, DesignStyle::kFlipFlop, stim);
+  const FlowResult pl = run_flow(bench, DesignStyle::kPulsedLatch, stim);
+  EXPECT_TRUE(streams_equal(ff.outputs, pl.outputs));
+  EXPECT_EQ(pl.registers, ff.registers);
+  EXPECT_GT(pl.pulse_generators, 0);
+  EXPECT_LT(pl.area_um2, ff.area_um2);  // latches + pgens < FFs
+}
+
+TEST(Integration, ResultsAreDeterministic) {
+  const circuits::Benchmark bench = circuits::make_benchmark("s5378");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 64, 9);
+  const FlowResult a = run_flow(bench, DesignStyle::kThreePhase, stim);
+  const FlowResult b = run_flow(bench, DesignStyle::kThreePhase, stim);
+  EXPECT_EQ(a.registers, b.registers);
+  EXPECT_EQ(a.inserted_p2, b.inserted_p2);
+  EXPECT_DOUBLE_EQ(a.power.total_mw(), b.power.total_mw());
+  EXPECT_DOUBLE_EQ(a.area_um2, b.area_um2);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+}  // namespace
+}  // namespace tp::flow

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/library/cell_library.hpp"
+
+namespace tp {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::nominal_28nm(); }
+
+TEST(CellLibrary, LatchIsSmallerThanFlipFlop) {
+  // The premise of the paper: latches are smaller, with lower clock-pin
+  // capacitance and lower internal clock energy than flip-flops.
+  const CellParams& ff = lib().params(CellKind::kDff);
+  const CellParams& lat = lib().params(CellKind::kLatchH);
+  EXPECT_LT(lat.area_um2, 0.7 * ff.area_um2);
+  EXPECT_LT(lat.clock_cap_ff, ff.clock_cap_ff);
+  EXPECT_LT(lat.clock_energy_fj, ff.clock_energy_fj);
+  EXPECT_LT(lat.leakage_nw, ff.leakage_nw);
+}
+
+TEST(CellLibrary, LatchPairTracksFlipFlopCost) {
+  // A flip-flop is internally a master-slave pair plus local clock
+  // inverters: two latches must cost more area than one FF, and the pair's
+  // clock cost must land within ~25% of the FF's (the FF carries the
+  // inverter overhead).
+  const CellParams& ff = lib().params(CellKind::kDff);
+  const CellParams& lat = lib().params(CellKind::kLatchH);
+  EXPECT_GT(2 * lat.area_um2, ff.area_um2);
+  EXPECT_GT(2 * lat.clock_energy_fj, 0.75 * ff.clock_energy_fj);
+  EXPECT_LT(2 * lat.clock_energy_fj, 1.25 * ff.clock_energy_fj);
+  EXPECT_GT(2 * lat.clock_cap_ff, 0.75 * ff.clock_cap_ff);
+}
+
+TEST(CellLibrary, ModifiedClockGatesAreCheaper) {
+  // Fig. 3: M1 removes the inverter, M2 removes the latch.
+  const CellParams& icg = lib().params(CellKind::kIcg);
+  const CellParams& m1 = lib().params(CellKind::kIcgM1);
+  const CellParams& m2 = lib().params(CellKind::kIcgNoLatch);
+  EXPECT_LT(m1.area_um2, icg.area_um2);
+  EXPECT_LT(m2.area_um2, m1.area_um2);
+  EXPECT_LT(m1.clock_energy_fj, icg.clock_energy_fj);
+  EXPECT_LT(m2.clock_energy_fj, m1.clock_energy_fj);
+}
+
+TEST(CellLibrary, DelayGrowsWithLoad) {
+  EXPECT_LT(lib().delay_ps(CellKind::kNand2, 1.0),
+            lib().delay_ps(CellKind::kNand2, 10.0));
+  EXPECT_GT(lib().delay_ps(CellKind::kXor2, 0.0), 0.0);
+}
+
+TEST(CellLibrary, PinCapDistinguishesClockPin) {
+  const double d_cap = lib().pin_cap_ff(CellKind::kDff, 0);
+  const double ck_cap = lib().pin_cap_ff(CellKind::kDff, 1);
+  EXPECT_EQ(d_cap, lib().params(CellKind::kDff).input_cap_ff);
+  EXPECT_EQ(ck_cap, lib().params(CellKind::kDff).clock_cap_ff);
+}
+
+TEST(CellLibrary, SwitchEnergyQuadraticInVoltage) {
+  EXPECT_NEAR(lib().net_switch_energy_fj(10.0), 0.5 * 10.0 * 0.9 * 0.9,
+              1e-12);
+}
+
+TEST(CellLibrary, AreaAndLoadOfSmallNetlist) {
+  Netlist nl("t");
+  const CellId a = nl.add_input("a");
+  const CellId g = nl.add_gate(CellKind::kInv, "g", {nl.cell(a).out});
+  nl.add_output("o", nl.cell(g).out);
+  EXPECT_NEAR(lib().total_area_um2(nl),
+              lib().params(CellKind::kInv).area_um2, 1e-9);
+  // Input net drives one INV pin plus a wire segment.
+  const double load = lib().net_load_ff(nl, nl.cell(a).out);
+  EXPECT_NEAR(load, lib().params(CellKind::kInv).input_cap_ff +
+                        lib().default_wire_cap_per_fanout_ff(),
+              1e-9);
+}
+
+TEST(CellLibrary, AllRealCellsHaveAreaAndCap) {
+  for (int k = 0; k < kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (kind == CellKind::kInput || kind == CellKind::kOutput ||
+        kind == CellKind::kConst0 || kind == CellKind::kConst1) {
+      continue;
+    }
+    const CellParams& p = lib().params(kind);
+    EXPECT_GT(p.area_um2, 0.0) << cell_kind_name(kind);
+    EXPECT_GT(p.input_cap_ff, 0.0) << cell_kind_name(kind);
+    EXPECT_GT(p.leakage_nw, 0.0) << cell_kind_name(kind);
+  }
+}
+
+TEST(CellLibrary, RegistersHaveSetupHold) {
+  for (const CellKind kind : {CellKind::kDff, CellKind::kDffEn,
+                              CellKind::kLatchH, CellKind::kLatchL}) {
+    EXPECT_GT(lib().params(kind).setup_ps, 0.0) << cell_kind_name(kind);
+    EXPECT_GT(lib().params(kind).hold_ps, 0.0) << cell_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "src/phase/assignment.hpp"
+#include "src/phase/ilp_formulation.hpp"
+#include "src/util/log.hpp"
+#include "src/util/rng.hpp"
+
+namespace tp {
+namespace {
+
+/// Builds a RegisterGraph directly (no netlist) for solver testing.
+RegisterGraph make_graph(int num_regs,
+                         std::vector<std::pair<int, int>> edges,
+                         std::vector<std::vector<int>> pi_fanout = {}) {
+  RegisterGraph g;
+  for (int i = 0; i < num_regs; ++i) {
+    g.regs.push_back(CellId{static_cast<std::uint32_t>(i)});
+    g.node_of.emplace(static_cast<std::uint32_t>(i), i);
+  }
+  g.fanout.resize(static_cast<std::size_t>(num_regs));
+  for (const auto& [u, v] : edges) {
+    g.fanout[static_cast<std::size_t>(u)].push_back(v);
+  }
+  for (std::size_t p = 0; p < pi_fanout.size(); ++p) {
+    g.data_pis.push_back(CellId{static_cast<std::uint32_t>(1000 + p)});
+  }
+  g.pi_fanout = std::move(pi_fanout);
+  return g;
+}
+
+/// Brute force over all K assignments; returns the minimum objective.
+int brute_force_objective(const RegisterGraph& g) {
+  const std::size_t n = g.regs.size();
+  int best = 1 << 30;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::uint8_t> k(n);
+    for (std::size_t i = 0; i < n; ++i) k[i] = (mask >> i) & 1;
+    best = std::min(best, assignment_from_k(g, std::move(k)).num_inserted());
+  }
+  return best;
+}
+
+TEST(PhaseAssignment, LinearPipelineUsesOneExtraPerTwoStages) {
+  // Fig. 1: a depth-d linear pipeline (PI -> ff0 -> ... -> ff_{d-1}) needs
+  // exactly ceil(d / 2) inserted latches, counting the PI rule.
+  for (int depth = 1; depth <= 12; ++depth) {
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < depth; ++i) edges.push_back({i, i + 1});
+    const RegisterGraph g = make_graph(depth, edges, {{0}});
+    const PhaseAssignment a = assign_phases(g);
+    EXPECT_TRUE(a.optimal);
+    validate_assignment(g, a);
+    // d + 1 boundaries (PI + d FFs) alternate; every other one needs a p2.
+    EXPECT_EQ(a.num_inserted(), (depth + 1) / 2) << "depth " << depth;
+  }
+}
+
+TEST(PhaseAssignment, SelfLoopForcesBackToBack) {
+  const RegisterGraph g = make_graph(1, {{0, 0}});
+  const PhaseAssignment a = assign_phases(g);
+  EXPECT_EQ(a.g[0], 1);
+  EXPECT_EQ(a.num_inserted(), 1);
+  validate_assignment(g, a);
+}
+
+TEST(PhaseAssignment, TwoNodeCycleNeedsOneInsertion) {
+  // ff0 <-> ff1: one of them can be a single p1 latch.
+  const RegisterGraph g = make_graph(2, {{0, 1}, {1, 0}});
+  const PhaseAssignment a = assign_phases(g);
+  EXPECT_TRUE(a.optimal);
+  EXPECT_EQ(a.num_inserted(), 1);
+  validate_assignment(g, a);
+}
+
+TEST(PhaseAssignment, PiPenaltyCanChangeOptimum) {
+  // Single FF fed by a PI: making it p1 costs an inserted PI latch, making
+  // it p3 costs its own p2 latch — either way the optimum is 1.
+  const RegisterGraph g = make_graph(1, {}, {{0}});
+  const PhaseAssignment a = assign_phases(g);
+  EXPECT_TRUE(a.optimal);
+  EXPECT_EQ(a.num_inserted(), 1);
+  validate_assignment(g, a);
+}
+
+TEST(PhaseAssignment, IndependentFfsWithoutPisAreFree) {
+  const RegisterGraph g = make_graph(4, {});
+  const PhaseAssignment a = assign_phases(g);
+  EXPECT_TRUE(a.optimal);
+  EXPECT_EQ(a.num_inserted(), 0);  // all single p1 latches
+  validate_assignment(g, a);
+}
+
+TEST(PhaseAssignment, ValidateRejectsConsecutiveP1) {
+  const RegisterGraph g = make_graph(2, {{0, 1}});
+  PhaseAssignment bad;
+  bad.k = {1, 1};
+  bad.g = {0, 1};  // node 0 claims single latch while feeding a p1 node
+  bad.pi_g = {};
+  EXPECT_THROW(validate_assignment(g, bad), Error);
+}
+
+TEST(PhaseAssignment, ValidateRejectsSingleP3) {
+  const RegisterGraph g = make_graph(1, {});
+  PhaseAssignment bad;
+  bad.k = {0};
+  bad.g = {0};
+  bad.pi_g = {};
+  EXPECT_THROW(validate_assignment(g, bad), Error);
+}
+
+TEST(PhaseAssignment, GreedyIsValidButMaybeSuboptimal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.range(3, 14));
+    std::vector<std::pair<int, int>> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (rng.chance(0.15)) edges.push_back({u, v});
+      }
+    }
+    const RegisterGraph g = make_graph(n, edges);
+    const PhaseAssignment greedy = assign_phases_greedy(g);
+    validate_assignment(g, greedy);
+    EXPECT_GE(greedy.num_inserted(), brute_force_objective(g));
+  }
+}
+
+class RandomPhaseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPhaseTest, AllSolversMatchBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  const int n = static_cast<int>(rng.range(2, 14));
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    if (rng.chance(0.15)) edges.push_back({u, u});  // self-loops
+    for (int v = 0; v < n; ++v) {
+      if (rng.chance(0.18)) edges.push_back({u, v});
+    }
+  }
+  const int num_pis = static_cast<int>(rng.range(0, 3));
+  std::vector<std::vector<int>> pi_fanout;
+  for (int p = 0; p < num_pis; ++p) {
+    std::vector<int> f;
+    for (int v = 0; v < n; ++v) {
+      if (rng.chance(0.3)) f.push_back(v);
+    }
+    pi_fanout.push_back(std::move(f));
+  }
+  const RegisterGraph g = make_graph(n, edges, pi_fanout);
+
+  const int reference = brute_force_objective(g);
+
+  const PhaseAssignment ilp = assign_phases_ilp(g, 30.0);
+  EXPECT_TRUE(ilp.optimal);
+  validate_assignment(g, ilp);
+  EXPECT_EQ(ilp.num_inserted(), reference) << "ILP, n=" << n;
+
+  const PhaseAssignment spec = assign_phases_specialized(g, 30.0);
+  EXPECT_TRUE(spec.optimal);
+  validate_assignment(g, spec);
+  EXPECT_EQ(spec.num_inserted(), reference) << "specialized, n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPhaseTest, ::testing::Range(0, 80));
+
+TEST(PhaseAssignment, LargeLayeredGraphSolvesQuickly) {
+  // AES-like layered pipeline: 12 layers of 64 FFs, dense layer-to-layer
+  // edges. The specialized solver must handle it within the time budget and
+  // pick alternate layers.
+  Rng rng(99);
+  const int layers = 12, width = 64;
+  std::vector<std::pair<int, int>> edges;
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        edges.push_back({l * width + i,
+                         (l + 1) * width +
+                             static_cast<int>(rng.below(width))});
+      }
+    }
+  }
+  const RegisterGraph g = make_graph(layers * width, edges);
+  Stopwatch timer;
+  const PhaseAssignment a = assign_phases(g, {.time_limit_s = 10.0});
+  EXPECT_LT(timer.seconds(), 10.0);
+  validate_assignment(g, a);
+  // Alternate layers single-latch: about half the FFs need insertion; the
+  // local search must land within 2% of that.
+  EXPECT_LE(a.num_inserted(), layers * width / 2 + width / 8);
+}
+
+}  // namespace
+}  // namespace tp

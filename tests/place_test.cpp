@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/place/fm.hpp"
+#include "src/place/placer.hpp"
+#include "src/transform/clock_gating.hpp"
+#include "tests/test_circuits.hpp"
+
+namespace tp {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::nominal_28nm(); }
+
+TEST(Fm, CutsCliquePairCleanly) {
+  // Two 4-cliques joined by one edge: the optimal cut is 1.
+  std::vector<std::int64_t> weights(8, 1);
+  std::vector<std::vector<int>> edges;
+  for (int base : {0, 4}) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  edges.push_back({0, 4});
+  const FmResult r = fm_bipartition(weights, edges);
+  EXPECT_EQ(r.cut, 1);
+  // Each clique stays on one side.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(r.side[0], r.side[i]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(r.side[4], r.side[i]);
+}
+
+TEST(Fm, RespectsBalance) {
+  std::vector<std::int64_t> weights(20, 1);
+  std::vector<std::vector<int>> edges;
+  for (int i = 0; i + 1 < 20; ++i) edges.push_back({i, i + 1});
+  const FmResult r = fm_bipartition(weights, edges);
+  int side0 = 0;
+  for (const auto s : r.side) side0 += (s == 0);
+  EXPECT_GE(side0, 8);
+  EXPECT_LE(side0, 12);
+  EXPECT_LE(r.cut, 3);  // a chain has a 1-cut; FM should get close
+}
+
+TEST(Fm, SingleVertex) {
+  const FmResult r = fm_bipartition({1}, {});
+  EXPECT_EQ(r.cut, 0);
+}
+
+TEST(Placer, AllCellsInsideDie) {
+  testing::RandomCircuitSpec spec;
+  spec.num_ffs = 30;
+  spec.num_gates = 120;
+  Netlist nl = testing::random_ff_circuit(spec);
+  infer_clock_gating(nl);
+  const Placement p = place(nl, lib());
+  EXPECT_GT(p.width_um, 0);
+  for (const CellId id : nl.live_cells()) {
+    const CellKind kind = nl.cell(id).kind;
+    if (kind == CellKind::kInput || kind == CellKind::kOutput ||
+        kind == CellKind::kConst0 || kind == CellKind::kConst1) {
+      continue;
+    }
+    const auto& [x, y] = p.pos[id.value()];
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, p.width_um);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, p.height_um);
+  }
+}
+
+TEST(Placer, DieAreaMatchesUtilization) {
+  testing::RandomCircuitSpec spec;
+  Netlist nl = testing::random_ff_circuit(spec);
+  infer_clock_gating(nl);
+  PlaceOptions options;
+  options.utilization = 0.5;
+  const Placement p = place(nl, lib(), options);
+  const double cell_area = lib().total_area_um2(nl);
+  EXPECT_NEAR(p.width_um * p.height_um, cell_area / 0.5,
+              cell_area * 0.05);
+}
+
+TEST(Placer, MinCutBeatsRandomScatterOnWirelength) {
+  testing::RandomCircuitSpec spec;
+  spec.num_ffs = 40;
+  spec.num_gates = 240;
+  Netlist nl = testing::random_ff_circuit(spec);
+  infer_clock_gating(nl);
+  const Placement p = place(nl, lib());
+  const double hpwl = p.total_hpwl_um(nl);
+
+  // Reference: same die, random positions.
+  Placement scatter = p;
+  Rng rng(3);
+  for (auto& [x, y] : scatter.pos) {
+    x = rng.uniform() * p.width_um;
+    y = rng.uniform() * p.height_um;
+  }
+  EXPECT_LT(hpwl, scatter.total_hpwl_um(nl) * 0.85);
+}
+
+TEST(Placer, NetCapIncludesWireAndPins) {
+  Netlist nl("t");
+  const CellId a = nl.add_input("a");
+  const CellId g = nl.add_gate(CellKind::kInv, "g", {nl.cell(a).out});
+  nl.add_output("o", nl.cell(g).out);
+  const Placement p = place(nl, lib());
+  const double cap = p.net_cap_ff(nl, lib(), nl.cell(a).out);
+  EXPECT_GE(cap, lib().params(CellKind::kInv).input_cap_ff);
+}
+
+}  // namespace
+}  // namespace tp

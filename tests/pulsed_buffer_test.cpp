@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/stimulus.hpp"
+#include "src/timing/sta.hpp"
+#include "src/transform/buffering.hpp"
+#include "src/transform/clock_gating.hpp"
+#include "src/transform/pulsed_latch.hpp"
+#include "tests/test_circuits.hpp"
+
+namespace tp {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::nominal_28nm(); }
+
+// --- high-fanout buffering ----------------------------------------------------
+
+TEST(Buffering, SplitsWideNets) {
+  Netlist nl("wide");
+  const CellId clk = nl.add_input("clk");
+  nl.set_clock_root(clk, Phase::kClk);
+  nl.clocks() = single_phase_spec(1000, nl.cell(clk).out);
+  const CellId a = nl.add_input("a");
+  for (int i = 0; i < 100; ++i) {
+    nl.add_output("o" + std::to_string(i),
+                  nl.cell(nl.add_gate(CellKind::kInv,
+                                      "g" + std::to_string(i),
+                                      {nl.cell(a).out}))
+                      .out);
+  }
+  ASSERT_EQ(nl.net(nl.cell(a).out).fanouts.size(), 100u);
+  const BufferingResult r = buffer_high_fanout(nl, {.max_fanout = 12});
+  nl.validate();
+  EXPECT_EQ(r.nets_buffered, 1);
+  EXPECT_GT(r.buffers_inserted, 100 / 12 - 1);
+  EXPECT_LE(nl.net(nl.cell(a).out).fanouts.size(), 12u);
+}
+
+TEST(Buffering, LeavesClockNetsAlone) {
+  Netlist nl("clmembers");
+  const CellId clk = nl.add_input("clk");
+  nl.set_clock_root(clk, Phase::kClk);
+  nl.clocks() = single_phase_spec(1000, nl.cell(clk).out);
+  const CellId a = nl.add_input("a");
+  for (int i = 0; i < 40; ++i) {
+    const NetId q = nl.add_net("q" + std::to_string(i));
+    nl.add_cell(CellKind::kDff, "ff" + std::to_string(i),
+                {nl.cell(a).out, nl.cell(clk).out}, q, Phase::kClk);
+    nl.add_output("o" + std::to_string(i), q);
+  }
+  const BufferingResult r = buffer_high_fanout(nl, {.max_fanout = 8});
+  nl.validate();
+  // The clock net keeps its 40 sinks (CTS owns it); the data net is split.
+  EXPECT_EQ(nl.net(nl.cell(clk).out).fanouts.size(), 40u);
+  EXPECT_LE(nl.net(nl.cell(a).out).fanouts.size(), 8u);
+  EXPECT_EQ(r.nets_buffered, 1);
+}
+
+TEST(Buffering, PreservesFunction) {
+  testing::RandomCircuitSpec spec;
+  spec.num_ffs = 24;
+  spec.num_gates = 60;
+  spec.enable_fraction = 0.5;
+  Netlist original = testing::random_ff_circuit(spec);
+  infer_clock_gating(original);
+  Netlist buffered = original;
+  buffer_high_fanout(buffered, {.max_fanout = 4});
+  Rng rng(9);
+  const Stimulus stim =
+      random_stimulus(original.data_inputs().size(), 64, rng, 0.4);
+  Simulator a(original), b(buffered);
+  EXPECT_TRUE(streams_equal(run_stream(a, stim, 4), run_stream(b, stim, 4)));
+}
+
+// --- pulsed latches -------------------------------------------------------------
+
+Netlist pulsed(const Netlist& ff, std::int64_t width = 120) {
+  PulsedLatchOptions options;
+  options.pulse_width_ps = width;
+  return to_pulsed_latch(ff, options).netlist;
+}
+
+TEST(PulsedLatch, ConvertsEveryRegister) {
+  testing::RandomCircuitSpec spec;
+  spec.num_ffs = 20;
+  Netlist ff = testing::random_ff_circuit(spec);
+  infer_clock_gating(ff);
+  const PulsedLatchResult r = to_pulsed_latch(ff);
+  EXPECT_EQ(r.netlist.count_cells(is_flip_flop), 0u);
+  EXPECT_EQ(r.netlist.count_cells(
+                [](CellKind k) { return k == CellKind::kLatchP; }),
+            ff.registers().size());
+  EXPECT_GT(r.pulse_generators, 0);
+  // Grouped: at most group_size latches per generator.
+  EXPECT_GE(r.pulse_generators,
+            static_cast<int>(ff.registers().size()) / 16);
+}
+
+TEST(PulsedLatch, StreamEquivalentToFf) {
+  for (const std::uint64_t seed : {2u, 8u, 21u}) {
+    testing::RandomCircuitSpec spec;
+    spec.seed = seed;
+    spec.num_ffs = 18;
+    spec.num_gates = 60;
+    spec.enable_fraction = 0.4;
+    Netlist ff = testing::random_ff_circuit(spec);
+    infer_clock_gating(ff);
+    const Netlist pl = pulsed(ff);
+    Rng rng(seed);
+    const Stimulus stim =
+        random_stimulus(ff.data_inputs().size(), 96, rng, 0.4);
+    Simulator a(ff), b(pl);
+    EXPECT_TRUE(
+        streams_equal(run_stream(a, stim, 8), run_stream(b, stim, 8)))
+        << "seed " << seed;
+  }
+}
+
+TEST(PulsedLatch, HoldGetsHarderWithWiderPulses) {
+  testing::RandomCircuitSpec spec;
+  spec.num_ffs = 20;
+  spec.num_gates = 50;
+  Netlist ff = testing::random_ff_circuit(spec);
+  infer_clock_gating(ff);
+  const TimingReport narrow = check_timing(pulsed(ff, 80), lib());
+  const TimingReport wide = check_timing(pulsed(ff, 250), lib());
+  EXPECT_GT(narrow.worst_hold_slack_ps, wide.worst_hold_slack_ps);
+}
+
+TEST(PulsedLatch, BorrowsThroughThePulseWindow) {
+  // A chain that misses the period by less than the pulse width passes with
+  // pulsed latches but fails with plain FFs: borrowing through the window.
+  auto chain = [](bool pulsed_style, int depth) {
+    Netlist nl("chain");
+    const CellId clk = nl.add_input("clk");
+    nl.set_clock_root(clk, Phase::kClk);
+    nl.clocks() = single_phase_spec(700, nl.cell(clk).out);
+    const CellId in = nl.add_input("in");
+    NetId d = nl.cell(in).out;
+    const NetId q0 = nl.add_net("q0");
+    nl.add_cell(CellKind::kDff, "r0", {d, nl.cell(clk).out}, q0,
+                Phase::kClk);
+    d = q0;
+    for (int i = 0; i < depth; ++i) {
+      d = nl.cell(nl.add_gate(CellKind::kInv, "i" + std::to_string(i), {d}))
+              .out;
+    }
+    const NetId q1 = nl.add_net("q1");
+    nl.add_cell(CellKind::kDff, "r1", {d, nl.cell(clk).out}, q1,
+                Phase::kClk);
+    nl.add_output("o", q1);
+    if (!pulsed_style) return nl;
+    PulsedLatchOptions options;
+    options.pulse_width_ps = 200;
+    return to_pulsed_latch(nl, options).netlist;
+  };
+  // Depth 30 inverters ~ 635 ps + clk->q + setup ~ 760 ps > 700 ps.
+  EXPECT_FALSE(check_timing(chain(false, 30), lib()).setup_ok);
+  EXPECT_TRUE(check_timing(chain(true, 30), lib()).setup_ok);
+}
+
+TEST(PulsedLatch, RejectsUnloweredEnables) {
+  testing::RandomCircuitSpec spec;
+  spec.enable_fraction = 1.0;
+  const Netlist ff = testing::random_ff_circuit(spec);
+  EXPECT_THROW(to_pulsed_latch(ff), Error);
+}
+
+}  // namespace
+}  // namespace tp

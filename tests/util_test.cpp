@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/util/ids.hpp"
+#include "src/util/log.hpp"
+#include "src/util/rng.hpp"
+
+namespace tp {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  CellId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), kInvalidIndex);
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(CellId{3}, CellId{3});
+  EXPECT_NE(CellId{3}, CellId{4});
+  EXPECT_LT(CellId{3}, CellId{4});
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<NetId> set{NetId{1}, NetId{2}, NetId{1}};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Require, ThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "broken invariant");
+    FAIL() << "require(false) did not throw";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "broken invariant");
+  }
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace tp
