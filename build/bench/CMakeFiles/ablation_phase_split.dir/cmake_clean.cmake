@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase_split.dir/ablation_phase_split.cpp.o"
+  "CMakeFiles/ablation_phase_split.dir/ablation_phase_split.cpp.o.d"
+  "ablation_phase_split"
+  "ablation_phase_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

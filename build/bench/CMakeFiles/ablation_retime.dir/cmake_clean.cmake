@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retime.dir/ablation_retime.cpp.o"
+  "CMakeFiles/ablation_retime.dir/ablation_retime.cpp.o.d"
+  "ablation_retime"
+  "ablation_retime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multibit_banking.dir/ext_multibit_banking.cpp.o"
+  "CMakeFiles/ext_multibit_banking.dir/ext_multibit_banking.cpp.o.d"
+  "ext_multibit_banking"
+  "ext_multibit_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multibit_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_linear_pipeline.dir/fig1_linear_pipeline.cpp.o"
+  "CMakeFiles/fig1_linear_pipeline.dir/fig1_linear_pipeline.cpp.o.d"
+  "fig1_linear_pipeline"
+  "fig1_linear_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_linear_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

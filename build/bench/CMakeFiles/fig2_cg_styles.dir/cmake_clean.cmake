@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cg_styles.dir/fig2_cg_styles.cpp.o"
+  "CMakeFiles/fig2_cg_styles.dir/fig2_cg_styles.cpp.o.d"
+  "fig2_cg_styles"
+  "fig2_cg_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cg_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cg_cells.dir/fig3_cg_cells.cpp.o"
+  "CMakeFiles/fig3_cg_cells.dir/fig3_cg_cells.cpp.o.d"
+  "fig3_cg_cells"
+  "fig3_cg_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cg_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

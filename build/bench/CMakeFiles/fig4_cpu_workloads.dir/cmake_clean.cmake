@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cpu_workloads.dir/fig4_cpu_workloads.cpp.o"
+  "CMakeFiles/fig4_cpu_workloads.dir/fig4_cpu_workloads.cpp.o.d"
+  "fig4_cpu_workloads"
+  "fig4_cpu_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cpu_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulsed_latch_comparison.dir/pulsed_latch_comparison.cpp.o"
+  "CMakeFiles/pulsed_latch_comparison.dir/pulsed_latch_comparison.cpp.o.d"
+  "pulsed_latch_comparison"
+  "pulsed_latch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulsed_latch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_runtime.dir/table3_runtime.cpp.o"
+  "CMakeFiles/table3_runtime.dir/table3_runtime.cpp.o.d"
+  "table3_runtime"
+  "table3_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

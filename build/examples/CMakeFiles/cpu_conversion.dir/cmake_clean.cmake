@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_conversion.dir/cpu_conversion.cpp.o"
+  "CMakeFiles/cpu_conversion.dir/cpu_conversion.cpp.o.d"
+  "cpu_conversion"
+  "cpu_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

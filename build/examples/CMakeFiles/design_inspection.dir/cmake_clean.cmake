@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_inspection.dir/design_inspection.cpp.o"
+  "CMakeFiles/design_inspection.dir/design_inspection.cpp.o.d"
+  "design_inspection"
+  "design_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_cli.dir/flow_cli.cpp.o"
+  "CMakeFiles/flow_cli.dir/flow_cli.cpp.o.d"
+  "flow_cli"
+  "flow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("library")
+subdirs("sim")
+subdirs("ilp")
+subdirs("phase")
+subdirs("transform")
+subdirs("timing")
+subdirs("retime")
+subdirs("place")
+subdirs("cts")
+subdirs("power")
+subdirs("circuits")
+subdirs("flow")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/benchmark.cpp" "src/circuits/CMakeFiles/tp_circuits.dir/benchmark.cpp.o" "gcc" "src/circuits/CMakeFiles/tp_circuits.dir/benchmark.cpp.o.d"
+  "/root/repo/src/circuits/builder.cpp" "src/circuits/CMakeFiles/tp_circuits.dir/builder.cpp.o" "gcc" "src/circuits/CMakeFiles/tp_circuits.dir/builder.cpp.o.d"
+  "/root/repo/src/circuits/cep.cpp" "src/circuits/CMakeFiles/tp_circuits.dir/cep.cpp.o" "gcc" "src/circuits/CMakeFiles/tp_circuits.dir/cep.cpp.o.d"
+  "/root/repo/src/circuits/cpu.cpp" "src/circuits/CMakeFiles/tp_circuits.dir/cpu.cpp.o" "gcc" "src/circuits/CMakeFiles/tp_circuits.dir/cpu.cpp.o.d"
+  "/root/repo/src/circuits/iscas.cpp" "src/circuits/CMakeFiles/tp_circuits.dir/iscas.cpp.o" "gcc" "src/circuits/CMakeFiles/tp_circuits.dir/iscas.cpp.o.d"
+  "/root/repo/src/circuits/workload.cpp" "src/circuits/CMakeFiles/tp_circuits.dir/workload.cpp.o" "gcc" "src/circuits/CMakeFiles/tp_circuits.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_circuits.dir/benchmark.cpp.o"
+  "CMakeFiles/tp_circuits.dir/benchmark.cpp.o.d"
+  "CMakeFiles/tp_circuits.dir/builder.cpp.o"
+  "CMakeFiles/tp_circuits.dir/builder.cpp.o.d"
+  "CMakeFiles/tp_circuits.dir/cep.cpp.o"
+  "CMakeFiles/tp_circuits.dir/cep.cpp.o.d"
+  "CMakeFiles/tp_circuits.dir/cpu.cpp.o"
+  "CMakeFiles/tp_circuits.dir/cpu.cpp.o.d"
+  "CMakeFiles/tp_circuits.dir/iscas.cpp.o"
+  "CMakeFiles/tp_circuits.dir/iscas.cpp.o.d"
+  "CMakeFiles/tp_circuits.dir/workload.cpp.o"
+  "CMakeFiles/tp_circuits.dir/workload.cpp.o.d"
+  "libtp_circuits.a"
+  "libtp_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

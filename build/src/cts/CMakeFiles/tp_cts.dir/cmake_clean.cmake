@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_cts.dir/cts.cpp.o"
+  "CMakeFiles/tp_cts.dir/cts.cpp.o.d"
+  "libtp_cts.a"
+  "libtp_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

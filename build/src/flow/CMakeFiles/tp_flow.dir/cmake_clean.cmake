@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_flow.dir/flow.cpp.o"
+  "CMakeFiles/tp_flow.dir/flow.cpp.o.d"
+  "libtp_flow.a"
+  "libtp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

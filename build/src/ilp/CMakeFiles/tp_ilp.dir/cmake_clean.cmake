@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_ilp.dir/model.cpp.o"
+  "CMakeFiles/tp_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/tp_ilp.dir/solver.cpp.o"
+  "CMakeFiles/tp_ilp.dir/solver.cpp.o.d"
+  "libtp_ilp.a"
+  "libtp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_library.dir/cell_library.cpp.o"
+  "CMakeFiles/tp_library.dir/cell_library.cpp.o.d"
+  "libtp_library.a"
+  "libtp_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell_kind.cpp" "src/netlist/CMakeFiles/tp_netlist.dir/cell_kind.cpp.o" "gcc" "src/netlist/CMakeFiles/tp_netlist.dir/cell_kind.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/tp_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/tp_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/tp_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/tp_netlist.dir/stats.cpp.o.d"
+  "/root/repo/src/netlist/traverse.cpp" "src/netlist/CMakeFiles/tp_netlist.dir/traverse.cpp.o" "gcc" "src/netlist/CMakeFiles/tp_netlist.dir/traverse.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/tp_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/tp_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_netlist.dir/cell_kind.cpp.o"
+  "CMakeFiles/tp_netlist.dir/cell_kind.cpp.o.d"
+  "CMakeFiles/tp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/tp_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/tp_netlist.dir/stats.cpp.o"
+  "CMakeFiles/tp_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/tp_netlist.dir/traverse.cpp.o"
+  "CMakeFiles/tp_netlist.dir/traverse.cpp.o.d"
+  "CMakeFiles/tp_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/tp_netlist.dir/verilog.cpp.o.d"
+  "libtp_netlist.a"
+  "libtp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phase/assignment.cpp" "src/phase/CMakeFiles/tp_phase.dir/assignment.cpp.o" "gcc" "src/phase/CMakeFiles/tp_phase.dir/assignment.cpp.o.d"
+  "/root/repo/src/phase/greedy.cpp" "src/phase/CMakeFiles/tp_phase.dir/greedy.cpp.o" "gcc" "src/phase/CMakeFiles/tp_phase.dir/greedy.cpp.o.d"
+  "/root/repo/src/phase/ilp_formulation.cpp" "src/phase/CMakeFiles/tp_phase.dir/ilp_formulation.cpp.o" "gcc" "src/phase/CMakeFiles/tp_phase.dir/ilp_formulation.cpp.o.d"
+  "/root/repo/src/phase/schedule.cpp" "src/phase/CMakeFiles/tp_phase.dir/schedule.cpp.o" "gcc" "src/phase/CMakeFiles/tp_phase.dir/schedule.cpp.o.d"
+  "/root/repo/src/phase/specialized_solver.cpp" "src/phase/CMakeFiles/tp_phase.dir/specialized_solver.cpp.o" "gcc" "src/phase/CMakeFiles/tp_phase.dir/specialized_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/tp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/tp_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/tp_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_phase.dir/assignment.cpp.o"
+  "CMakeFiles/tp_phase.dir/assignment.cpp.o.d"
+  "CMakeFiles/tp_phase.dir/greedy.cpp.o"
+  "CMakeFiles/tp_phase.dir/greedy.cpp.o.d"
+  "CMakeFiles/tp_phase.dir/ilp_formulation.cpp.o"
+  "CMakeFiles/tp_phase.dir/ilp_formulation.cpp.o.d"
+  "CMakeFiles/tp_phase.dir/schedule.cpp.o"
+  "CMakeFiles/tp_phase.dir/schedule.cpp.o.d"
+  "CMakeFiles/tp_phase.dir/specialized_solver.cpp.o"
+  "CMakeFiles/tp_phase.dir/specialized_solver.cpp.o.d"
+  "libtp_phase.a"
+  "libtp_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

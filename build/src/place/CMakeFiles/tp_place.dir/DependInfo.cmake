@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/fm.cpp" "src/place/CMakeFiles/tp_place.dir/fm.cpp.o" "gcc" "src/place/CMakeFiles/tp_place.dir/fm.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/place/CMakeFiles/tp_place.dir/placer.cpp.o" "gcc" "src/place/CMakeFiles/tp_place.dir/placer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/tp_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_place.dir/fm.cpp.o"
+  "CMakeFiles/tp_place.dir/fm.cpp.o.d"
+  "CMakeFiles/tp_place.dir/placer.cpp.o"
+  "CMakeFiles/tp_place.dir/placer.cpp.o.d"
+  "libtp_place.a"
+  "libtp_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_power.dir/banking.cpp.o"
+  "CMakeFiles/tp_power.dir/banking.cpp.o.d"
+  "CMakeFiles/tp_power.dir/power.cpp.o"
+  "CMakeFiles/tp_power.dir/power.cpp.o.d"
+  "libtp_power.a"
+  "libtp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

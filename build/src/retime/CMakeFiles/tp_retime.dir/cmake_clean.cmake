@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_retime.dir/maxflow.cpp.o"
+  "CMakeFiles/tp_retime.dir/maxflow.cpp.o.d"
+  "CMakeFiles/tp_retime.dir/retime.cpp.o"
+  "CMakeFiles/tp_retime.dir/retime.cpp.o.d"
+  "libtp_retime.a"
+  "libtp_retime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tp_sim.dir/stimulus.cpp.o"
+  "CMakeFiles/tp_sim.dir/stimulus.cpp.o.d"
+  "libtp_sim.a"
+  "libtp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

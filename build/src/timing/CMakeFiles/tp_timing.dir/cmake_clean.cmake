@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_timing.dir/report.cpp.o"
+  "CMakeFiles/tp_timing.dir/report.cpp.o.d"
+  "CMakeFiles/tp_timing.dir/sta.cpp.o"
+  "CMakeFiles/tp_timing.dir/sta.cpp.o.d"
+  "libtp_timing.a"
+  "libtp_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

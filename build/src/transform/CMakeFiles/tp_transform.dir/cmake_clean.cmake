@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_transform.dir/buffering.cpp.o"
+  "CMakeFiles/tp_transform.dir/buffering.cpp.o.d"
+  "CMakeFiles/tp_transform.dir/clock_gating.cpp.o"
+  "CMakeFiles/tp_transform.dir/clock_gating.cpp.o.d"
+  "CMakeFiles/tp_transform.dir/convert.cpp.o"
+  "CMakeFiles/tp_transform.dir/convert.cpp.o.d"
+  "CMakeFiles/tp_transform.dir/ddcg.cpp.o"
+  "CMakeFiles/tp_transform.dir/ddcg.cpp.o.d"
+  "CMakeFiles/tp_transform.dir/p2_gating.cpp.o"
+  "CMakeFiles/tp_transform.dir/p2_gating.cpp.o.d"
+  "CMakeFiles/tp_transform.dir/pulsed_latch.cpp.o"
+  "CMakeFiles/tp_transform.dir/pulsed_latch.cpp.o.d"
+  "libtp_transform.a"
+  "libtp_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_util.dir/log.cpp.o"
+  "CMakeFiles/tp_util.dir/log.cpp.o.d"
+  "CMakeFiles/tp_util.dir/rng.cpp.o"
+  "CMakeFiles/tp_util.dir/rng.cpp.o.d"
+  "libtp_util.a"
+  "libtp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

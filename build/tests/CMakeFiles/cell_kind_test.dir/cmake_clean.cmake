@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_kind_test.dir/cell_kind_test.cpp.o"
+  "CMakeFiles/cell_kind_test.dir/cell_kind_test.cpp.o.d"
+  "cell_kind_test"
+  "cell_kind_test.pdb"
+  "cell_kind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_kind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

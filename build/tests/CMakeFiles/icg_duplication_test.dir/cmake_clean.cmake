@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icg_duplication_test.dir/icg_duplication_test.cpp.o"
+  "CMakeFiles/icg_duplication_test.dir/icg_duplication_test.cpp.o.d"
+  "icg_duplication_test"
+  "icg_duplication_test.pdb"
+  "icg_duplication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icg_duplication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pulsed_buffer_test.cpp" "tests/CMakeFiles/pulsed_buffer_test.dir/pulsed_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/pulsed_buffer_test.dir/pulsed_buffer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/tp_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/tp_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/tp_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/tp_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/tp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

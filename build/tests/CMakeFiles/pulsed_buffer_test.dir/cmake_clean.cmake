@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulsed_buffer_test.dir/pulsed_buffer_test.cpp.o"
+  "CMakeFiles/pulsed_buffer_test.dir/pulsed_buffer_test.cpp.o.d"
+  "pulsed_buffer_test"
+  "pulsed_buffer_test.pdb"
+  "pulsed_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulsed_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_reference_test.dir/sim_reference_test.cpp.o"
+  "CMakeFiles/sim_reference_test.dir/sim_reference_test.cpp.o.d"
+  "sim_reference_test"
+  "sim_reference_test.pdb"
+  "sim_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
