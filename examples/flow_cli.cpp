@@ -37,6 +37,7 @@ int usage(const char* argv0) {
       "  --out FILE.v       write the converted netlist\n"
       "  --greedy           use the greedy phase heuristic (not the ILP)\n"
       "  --no-retime --no-cg --no-m1 --no-m2 --no-ddcg\n"
+      "  --check            SEC checkpoint after each transform stage\n"
       "  --stats            print structural statistics\n"
       "  --profile          print the slack profile/histogram\n"
       "  --dot FILE.dot     write the register graph (Graphviz)\n"
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
       options.use_m2 = false;
     } else if (arg == "--no-ddcg") {
       options.ddcg = false;
+    } else if (arg == "--check") {
+      options.check_equivalence = true;
     } else if (arg == "--enabled-style") {
       options.synthesis_cg.style = CgStyle::kEnabled;
     } else if (arg == "--stats") {
@@ -163,6 +166,21 @@ int main(int argc, char** argv) {
                   r.m2.converted, r.m2.converted + r.m2.kept);
       std::printf("  flow run time    %.2f s (ILP %.3f s)\n",
                   r.times.total_s(), r.times.ilp_s);
+    }
+    if (options.check_equivalence) {
+      for (const StageCheck& check : r.equiv.stages) {
+        std::printf("  SEC %-12s %s (%.2f s)%s%s\n", check.stage.c_str(),
+                    std::string(equiv::status_name(check.result.status))
+                        .c_str(),
+                    check.seconds,
+                    check.result.detail.empty() ? "" : " — ",
+                    check.result.detail.c_str());
+      }
+      if (const StageCheck* failed = r.equiv.first_failure()) {
+        std::fprintf(stderr, "equivalence lost at stage '%s': %s\n",
+                     failed->stage.c_str(), failed->result.detail.c_str());
+        return 1;
+      }
     }
     if (show_stats) {
       std::printf("\n%s", format_stats(compute_stats(r.netlist)).c_str());

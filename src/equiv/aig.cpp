@@ -1,0 +1,74 @@
+#include "src/equiv/aig.hpp"
+
+#include "src/util/log.hpp"
+
+namespace tp::equiv {
+
+Aig::Aig() {
+  nodes_.push_back(Node{0, 0});  // node 0: constant false
+}
+
+Lit Aig::add_input() {
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{kInputMark, static_cast<Lit>(num_inputs_)});
+  ++num_inputs_;
+  return make_lit(node);
+}
+
+Lit Aig::land(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);  // canonical operand order (a <= b)
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return make_lit(it->second);
+  }
+  require(nodes_.size() < (1ull << 31) - 1, "Aig: node limit exceeded");
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  strash_.emplace(key, node);
+  return make_lit(node);
+}
+
+Lit Aig::lxor(Lit a, Lit b) {
+  return lor(land(a, lit_not(b)), land(lit_not(a), b));
+}
+
+Lit Aig::lmux(Lit s, Lit t, Lit e) {
+  if (t == e) return t;
+  return lor(land(s, t), land(lit_not(s), e));
+}
+
+void Aig::simulate(std::span<const std::uint64_t> input_words,
+                   std::vector<std::uint64_t>& node_words) const {
+  node_words.resize(nodes_.size());
+  node_words[0] = 0;
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    if (node.a == kInputMark) {
+      node_words[n] = input_words[node.b];
+    } else {
+      node_words[n] = word_of(node_words, node.a) & word_of(node_words, node.b);
+    }
+  }
+}
+
+std::vector<Lit> Aig::compose(std::size_t num_nodes,
+                              std::span<const Lit> input_map) {
+  std::vector<Lit> map(num_nodes);
+  map[0] = kLitFalse;
+  for (std::uint32_t n = 1; n < num_nodes; ++n) {
+    const Node node = nodes_[n];  // copy: land() may reallocate nodes_
+    if (node.a == kInputMark) {
+      map[n] = input_map[node.b];
+    } else {
+      map[n] = land(lit_xor(map[lit_node(node.a)], lit_neg(node.a)),
+                    lit_xor(map[lit_node(node.b)], lit_neg(node.b)));
+    }
+  }
+  return map;
+}
+
+}  // namespace tp::equiv

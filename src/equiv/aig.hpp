@@ -1,0 +1,109 @@
+// And-Inverter Graph with structural hashing and constant propagation.
+//
+// The equivalence checker (sec.hpp) compiles both netlists' one-cycle
+// transition functions into a single shared Aig. Sharing one graph means
+// structural hashing deduplicates identical logic *across* the two designs
+// for free: after the conversion transforms, most combinational cones of the
+// golden and revised designs hash to the same nodes, and their equivalence
+// never reaches the SAT solver.
+//
+// Representation: node 0 is the constant false; every other node is either a
+// primary input or a two-input AND. Edges are literals — a node index shifted
+// left by one with the low bit carrying complementation — so inversion is
+// free. new_and() applies the standard one-level simplifications (constant
+// folding, idempotence, complement annihilation) and canonicalizes operand
+// order before consulting the hash table, so structurally equal cones always
+// return the same literal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace tp::equiv {
+
+/// AIG edge: node index * 2 + complemented bit.
+using Lit = std::uint32_t;
+
+inline constexpr Lit kLitFalse = 0;  // node 0, plain
+inline constexpr Lit kLitTrue = 1;   // node 0, complemented
+
+[[nodiscard]] constexpr std::uint32_t lit_node(Lit l) { return l >> 1; }
+[[nodiscard]] constexpr bool lit_neg(Lit l) { return (l & 1u) != 0; }
+[[nodiscard]] constexpr Lit make_lit(std::uint32_t node, bool neg = false) {
+  return (node << 1) | static_cast<Lit>(neg);
+}
+[[nodiscard]] constexpr Lit lit_not(Lit l) { return l ^ 1u; }
+[[nodiscard]] constexpr Lit lit_xor(Lit l, bool neg) {
+  return l ^ static_cast<Lit>(neg);
+}
+
+class Aig {
+ public:
+  Aig();
+
+  /// Appends a fresh primary-input node and returns its (plain) literal.
+  Lit add_input();
+
+  // --- boolean operators (all structurally hashed) -------------------------
+
+  Lit land(Lit a, Lit b);
+  Lit lor(Lit a, Lit b) { return lit_not(land(lit_not(a), lit_not(b))); }
+  Lit lxor(Lit a, Lit b);
+  /// s ? t : e.
+  Lit lmux(Lit s, Lit t, Lit e);
+
+  // --- structure -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+  [[nodiscard]] bool is_input(std::uint32_t node) const {
+    return nodes_[node].a == kInputMark;
+  }
+  /// Position of an input node in creation order (valid for inputs only).
+  [[nodiscard]] std::uint32_t input_index(std::uint32_t node) const {
+    return nodes_[node].b;
+  }
+  [[nodiscard]] Lit fanin0(std::uint32_t node) const { return nodes_[node].a; }
+  [[nodiscard]] Lit fanin1(std::uint32_t node) const { return nodes_[node].b; }
+
+  // --- evaluation ----------------------------------------------------------
+
+  /// 64-way parallel evaluation: `input_words[input_index]` carries 64
+  /// independent assignments; on return `node_words[node]` holds the value of
+  /// every node under each of them. `node_words` is resized as needed.
+  void simulate(std::span<const std::uint64_t> input_words,
+                std::vector<std::uint64_t>& node_words) const;
+
+  /// Word value of a literal given a filled `node_words`.
+  [[nodiscard]] static std::uint64_t word_of(
+      std::span<const std::uint64_t> node_words, Lit l) {
+    const std::uint64_t w = node_words[lit_node(l)];
+    return lit_neg(l) ? ~w : w;
+  }
+
+  // --- composition ---------------------------------------------------------
+
+  /// Re-instantiates nodes [0, num_nodes) of this graph into this same graph
+  /// with every input node replaced by `input_map[input_index]`. Returns the
+  /// node -> literal translation table (constant folding applies, so a node
+  /// may map to a constant or to an existing node). This is how sec.cpp
+  /// unrolls the transition function into successive time frames.
+  [[nodiscard]] std::vector<Lit> compose(std::size_t num_nodes,
+                                         std::span<const Lit> input_map);
+
+ private:
+  static constexpr Lit kInputMark = 0xFFFFFFFFu;
+
+  struct Node {
+    Lit a = 0;  // kInputMark for inputs
+    Lit b = 0;  // input index for inputs
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+  std::size_t num_inputs_ = 0;
+};
+
+}  // namespace tp::equiv

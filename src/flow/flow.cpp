@@ -63,11 +63,30 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   result.style = style;
   Stopwatch step;
 
-  // 1. "Synthesis": lower enables to the configured clock-gating style.
+  // SEC checkpoint: prove the working netlist still matches the input FF
+  // design. The stage hook runs first so tests can inject a fault "inside"
+  // a stage and assert the checkpoint blames it. Callers must reset `step`
+  // afterwards — checkpoint time is accounted to times.equiv_s, not to the
+  // surrounding stage.
   Netlist netlist = benchmark.netlist;
+  const auto checkpoint = [&](std::string_view stage) {
+    if (options.stage_hook) options.stage_hook(netlist, stage);
+    if (!options.check_equivalence) return;
+    Stopwatch watch;
+    StageCheck check;
+    check.stage = std::string(stage);
+    check.result = equiv::check_sequential_equivalence(benchmark.netlist,
+                                                       netlist, options.sec);
+    check.seconds = watch.seconds();
+    result.times.equiv_s += check.seconds;
+    result.equiv.stages.push_back(std::move(check));
+  };
+
+  // 1. "Synthesis": lower enables to the configured clock-gating style.
   result.synthesis_cg = infer_clock_gating(netlist, options.synthesis_cg);
   result.buffering = buffer_high_fanout(netlist, options.buffering);
   result.times.synthesis_s = step.seconds();
+  checkpoint("synthesis");
   step.reset();
 
   // 2. Conversion.
@@ -81,17 +100,20 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
       netlist = std::move(converted.netlist);
       result.pulse_generators = converted.pulse_generators;
       result.times.convert_s = step.seconds();
+      checkpoint("convert");
       break;
     }
     case DesignStyle::kMasterSlave: {
       netlist = to_master_slave(netlist);
       result.times.convert_s = step.seconds();
+      checkpoint("convert");
       step.reset();
       if (options.retime && options.retime_master_slave) {
         result.retime = retime_with_closure(netlist, library, Phase::kClk,
                                             options.timing);
+        result.times.retime_s = step.seconds();
+        checkpoint("retime");
       }
-      result.times.retime_s = step.seconds();
       break;
     }
     case DesignStyle::kThreePhase: {
@@ -109,28 +131,39 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
       result.inserted_p2 = converted.inserted_p2;
       result.duplicated_icgs = converted.duplicated_icgs;
       result.times.convert_s = step.seconds();
+      checkpoint("convert");
       step.reset();
 
       if (options.retime) {
         result.retime = retime_with_closure(netlist, library, Phase::kP2,
                                             options.timing);
+        result.times.retime_s = step.seconds();
+        checkpoint("retime");
+        step.reset();
       }
-      result.times.retime_s = step.seconds();
-      step.reset();
 
       if (options.p2_common_enable_cg) {
         result.p2_gating =
             gate_p2_latches(netlist, {.use_m1 = options.use_m1});
+        result.times.clock_gating_s += step.seconds();
+        checkpoint("p2-gating");
+        step.reset();
       }
-      if (options.use_m2) result.m2 = apply_m2(netlist);
+      if (options.use_m2) {
+        result.m2 = apply_m2(netlist);
+        result.times.clock_gating_s += step.seconds();
+        checkpoint("m2");
+        step.reset();
+      }
       if (options.ddcg) {
         // DDCG needs switching activity of this very netlist (Sec. V:
         // gate-level simulations drive the data-driven clock gating).
         ActivityStats activity;
         simulate(netlist, stimulus, options.warmup_cycles, &activity);
         result.ddcg = apply_ddcg(netlist, activity, options.ddcg_options);
+        result.times.clock_gating_s += step.seconds();
+        checkpoint("ddcg");
       }
-      result.times.clock_gating_s = step.seconds();
       break;
     }
   }
@@ -139,9 +172,12 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   // 3. Timing signoff and hold repair.
   if (options.hold_repair) {
     result.hold = repair_hold(netlist, library, options.timing);
+    result.times.timing_s = step.seconds();
+    checkpoint("hold-repair");
+    step.reset();
   }
   result.timing = check_timing(netlist, library, options.timing);
-  result.times.timing_s = step.seconds();
+  result.times.timing_s += step.seconds();
   step.reset();
 
   // 4. Physical design: place, then one clock tree per phase.
@@ -169,8 +205,34 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   return result;
 }
 
-bool equivalent(const FlowResult& a, const FlowResult& b) {
-  return streams_equal(a.outputs, b.outputs);
+std::string StreamDiff::to_string() const {
+  if (equal()) return "output streams identical";
+  return "outputs diverge at cycle " + std::to_string(cycle) + " on '" +
+         output_name + "': expected " + (expected ? "1" : "0") + ", got " +
+         (got ? "1" : "0");
+}
+
+StreamDiff equivalent(const FlowResult& a, const FlowResult& b) {
+  StreamDiff diff;
+  diff.cycle = first_mismatch(a.outputs, b.outputs);
+  if (diff.cycle < 0) return diff;
+  const auto& row_a = a.outputs[diff.cycle];
+  const auto& row_b = b.outputs[diff.cycle];
+  const std::size_t width = std::min(row_a.size(), row_b.size());
+  diff.output = width;  // row-length mismatch unless a cell differs below
+  for (std::size_t j = 0; j < width; ++j) {
+    if (row_a[j] != row_b[j]) {
+      diff.output = j;
+      diff.expected = row_a[j] != 0;
+      diff.got = row_b[j] != 0;
+      break;
+    }
+  }
+  const auto& outs = a.netlist.outputs();
+  if (diff.output < outs.size()) {
+    diff.output_name = a.netlist.cell(outs[diff.output]).name;
+  }
+  return diff;
 }
 
 }  // namespace tp::flow

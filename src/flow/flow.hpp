@@ -12,10 +12,12 @@
 // ("streaming inputs ... and comparing output streams", Sec. V).
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "src/circuits/benchmark.hpp"
 #include "src/cts/cts.hpp"
+#include "src/equiv/sec.hpp"
 #include "src/phase/assignment.hpp"
 #include "src/power/power.hpp"
 #include "src/retime/retime.hpp"
@@ -51,6 +53,42 @@ struct FlowOptions {
   PlaceOptions place;
   CtsOptions cts;
   std::size_t warmup_cycles = 16;
+
+  /// Run a sequential equivalence check (src/equiv/) against the input FF
+  /// netlist after every transform stage, recording which stage (if any)
+  /// first diverges. Opt-in: proofs cost far more than the transforms.
+  bool check_equivalence = false;
+  equiv::SecOptions sec;
+  /// Test hook invoked at every SEC checkpoint *before* the check runs;
+  /// lets tests inject a fault at a named stage and assert that the
+  /// checkpoint report blames exactly that stage.
+  std::function<void(Netlist&, std::string_view)> stage_hook;
+};
+
+/// One per-stage equivalence checkpoint (FlowOptions::check_equivalence).
+struct StageCheck {
+  std::string stage;        // "synthesis", "convert", "retime", ...
+  equiv::SecResult result;  // verdict against the input FF netlist
+  double seconds = 0;
+};
+
+struct EquivChecks {
+  std::vector<StageCheck> stages;
+
+  [[nodiscard]] bool all_proven() const {
+    for (const StageCheck& s : stages) {
+      if (s.result.status != equiv::SecStatus::kProven) return false;
+    }
+    return true;
+  }
+  /// First checkpoint that failed to prove equivalence (nullptr when every
+  /// stage proved, or when checking was disabled).
+  [[nodiscard]] const StageCheck* first_failure() const {
+    for (const StageCheck& s : stages) {
+      if (s.result.status != equiv::SecStatus::kProven) return &s;
+    }
+    return nullptr;
+  }
 };
 
 /// Per-step wall-clock seconds (the paper reports ILP <= 27 s and < 1% of
@@ -65,10 +103,11 @@ struct StepTimes {
   double place_s = 0;
   double cts_s = 0;
   double sim_s = 0;
+  double equiv_s = 0;  // per-stage SEC checkpoints (opt-in)
 
   [[nodiscard]] double total_s() const {
     return synthesis_s + ilp_s + convert_s + retime_s + clock_gating_s +
-           timing_s + place_s + cts_s + sim_s;
+           timing_s + place_s + cts_s + sim_s + equiv_s;
   }
 };
 
@@ -99,13 +138,33 @@ struct FlowResult {
   CgInferenceResult synthesis_cg;
   BufferingResult buffering;
   int pulse_generators = 0;  // pulsed-latch style
+
+  /// Per-stage SEC checkpoints (empty unless check_equivalence was set).
+  EquivChecks equiv;
 };
 
 /// Runs the complete flow for one style of the benchmark under `stimulus`.
 FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
                     const Stimulus& stimulus, const FlowOptions& options = {});
 
-/// True when both results produced identical output streams.
-bool equivalent(const FlowResult& a, const FlowResult& b);
+/// Diagnostic result of a stream comparison: where two flows first diverged,
+/// or `cycle == -1` when the streams match. Converts to bool ("equal") so
+/// `assert(flow::equivalent(a, b))` keeps working.
+struct StreamDiff {
+  std::ptrdiff_t cycle = -1;
+  std::size_t output = 0;
+  std::string output_name;
+  bool expected = false;  // value in `a`
+  bool got = false;       // value in `b`
+
+  [[nodiscard]] bool equal() const { return cycle < 0; }
+  explicit operator bool() const { return equal(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compares the output streams of two flow results, reporting the first
+/// divergence (cycle index, output name, expected/got) instead of a bare
+/// bool.
+StreamDiff equivalent(const FlowResult& a, const FlowResult& b);
 
 }  // namespace tp::flow

@@ -119,6 +119,10 @@ bool is_flip_flop(CellKind kind) {
   return kind == CellKind::kDff || kind == CellKind::kDffEn;
 }
 
+bool samples_on_edge(CellKind kind) {
+  return is_flip_flop(kind) || kind == CellKind::kLatchP;
+}
+
 bool is_latch(CellKind kind) {
   return kind == CellKind::kLatchH || kind == CellKind::kLatchL;
 }

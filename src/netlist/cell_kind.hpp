@@ -76,11 +76,18 @@ bool has_output(CellKind kind);
 /// stateless).
 bool is_combinational(CellKind kind);
 
-/// True for state-holding storage cells: kDff, kDffEn, kLatchH, kLatchL.
+/// True for state-holding storage cells: kDff, kDffEn, kLatchH, kLatchL,
+/// kLatchP.
 bool is_register(CellKind kind);
 
 /// True for edge-triggered registers (kDff, kDffEn).
 bool is_flip_flop(CellKind kind);
+
+/// True for registers that sample on a clock edge rather than following a
+/// level: flip-flops and hold-clean pulsed latches (kLatchP). The simulator
+/// and the equivalence checker use this to pick edge-detection vs.
+/// transparent-settle semantics.
+bool samples_on_edge(CellKind kind);
 
 /// True for level-sensitive registers (kLatchH, kLatchL). Pulsed latches
 /// (kLatchP) are registers but sample on the pulse edge, so they are not

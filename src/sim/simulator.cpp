@@ -374,7 +374,7 @@ void Simulator::evaluate_cell(CellId id) {
     }
     return;
   }
-  if (is_flip_flop(cell.kind) || cell.kind == CellKind::kLatchP) {
+  if (samples_on_edge(cell.kind)) {
     return;  // edge-sampled in update_registers
   }
   // Plain combinational gate.

@@ -85,6 +85,13 @@ class Simulator {
     return values_[net.value()] != 0;
   }
 
+  /// Internal enable-latch state of a kIcg/kIcgM1 cell as of the last
+  /// processed event. The equivalence checker reads this to extract the
+  /// reset state of the clock-gating network.
+  [[nodiscard]] bool icg_state(CellId cell) const {
+    return icg_state_[cell.value()] != 0;
+  }
+
   [[nodiscard]] const ActivityStats& stats() const { return stats_; }
   void clear_stats();
 

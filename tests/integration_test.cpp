@@ -48,8 +48,8 @@ TEST_P(FeatureMatrix, EquivalentValidAndTimed) {
 
   const FlowResult r =
       run_flow(bench, DesignStyle::kThreePhase, stim, options);
-  EXPECT_TRUE(streams_equal(reference.outputs, r.outputs))
-      << "combo bits " << bits;
+  const StreamDiff diff = equivalent(reference, r);
+  EXPECT_TRUE(diff) << "combo bits " << bits << ": " << diff.to_string();
   EXPECT_NO_THROW(r.netlist.validate());
   EXPECT_TRUE(r.timing.setup_ok)
       << "combo bits " << bits << " slack "
@@ -70,7 +70,8 @@ TEST(Integration, EnabledStyleSurvivesWholeFlow) {
                                  enabled);
   const FlowResult p3 =
       run_flow(bench, DesignStyle::kThreePhase, stim, enabled);
-  EXPECT_TRUE(streams_equal(ff.outputs, p3.outputs));
+  const StreamDiff diff = equivalent(ff, p3);
+  EXPECT_TRUE(diff) << diff.to_string();
   // The mux style creates self-loops, so nearly all FFs go back-to-back.
   EXPECT_GT(p3.inserted_p2, ff.registers / 2);
 }
@@ -81,7 +82,8 @@ TEST(Integration, PulsedLatchFlowIsEquivalent) {
       bench, circuits::Workload::kPaperDefault, 96, 5);
   const FlowResult ff = run_flow(bench, DesignStyle::kFlipFlop, stim);
   const FlowResult pl = run_flow(bench, DesignStyle::kPulsedLatch, stim);
-  EXPECT_TRUE(streams_equal(ff.outputs, pl.outputs));
+  const StreamDiff diff = equivalent(ff, pl);
+  EXPECT_TRUE(diff) << diff.to_string();
   EXPECT_EQ(pl.registers, ff.registers);
   EXPECT_GT(pl.pulse_generators, 0);
   EXPECT_LT(pl.area_um2, ff.area_um2);  // latches + pgens < FFs
