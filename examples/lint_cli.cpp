@@ -1,0 +1,196 @@
+// lint_cli — standalone front end to the static phase-rule checker.
+//
+// Lint a built-in benchmark (optionally after converting it to one of the
+// design styles) or an imported structural-Verilog netlist, and report the
+// findings as text or JSON:
+//
+//   $ ./examples/lint_cli --circuit s5378 --style 3p
+//   $ ./examples/lint_cli --in mydesign.v --json
+//   $ ./examples/lint_cli --circuit DES3 --style 3p --stages
+//   $ ./examples/lint_cli --circuit MD5 --style 3p --baseline waivers.txt
+//   $ ./examples/lint_cli --list-rules
+//
+// Exit status: 0 clean, 1 unwaived violations, 2 usage error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+#include "src/netlist/verilog.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--circuit NAME | --in FILE.v] [options]\n"
+      "  --circuit NAME     built-in benchmark (see flow_cli --list)\n"
+      "  --in FILE.v        structural Verilog netlist (TP_* cells)\n"
+      "  --style raw|ff|ms|3p  lint the raw netlist or a converted design\n"
+      "                        (default raw; conversion runs the flow)\n"
+      "  --stages           rule-check after every flow stage and blame the\n"
+      "                     first offending stage (non-raw styles only)\n"
+      "  --json             emit one JSON report object instead of text\n"
+      "  --waivers FILE     load a waiver file (see docs/lint.md)\n"
+      "  --baseline FILE    write a waiver line per finding and exit 0\n"
+      "  --disable RULE     skip a rule (repeatable)\n"
+      "  --max-ddcg N       DDCG group fanout cap (default 32)\n"
+      "  --cycles N         simulated cycles for flow styles (default 192)\n"
+      "  --quiet            summary only, no per-finding lines\n"
+      "  --list-rules       print the rule catalog and exit\n",
+      argv0);
+  return 2;
+}
+
+void list_rules() {
+  for (const check::RuleSpec& spec : check::rule_registry()) {
+    std::printf("%-18s %-8s %s [%s]\n", std::string(spec.name).c_str(),
+                std::string(check::severity_name(spec.severity)).c_str(),
+                std::string(spec.summary).c_str(),
+                std::string(spec.paper_ref).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit, in_file, waiver_file, baseline_file;
+  std::string style_text = "raw";
+  bool json = false, quiet = false, stages = false;
+  std::size_t cycles = 192;
+  check::CheckOptions check_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--circuit") {
+      circuit = value();
+    } else if (arg == "--in") {
+      in_file = value();
+    } else if (arg == "--style") {
+      style_text = value();
+    } else if (arg == "--stages") {
+      stages = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--waivers") {
+      waiver_file = value();
+    } else if (arg == "--baseline") {
+      baseline_file = value();
+    } else if (arg == "--disable") {
+      check::RuleId rule;
+      if (!check::rule_from_name(value(), &rule)) {
+        std::fprintf(stderr, "unknown rule '%s' (see --list-rules)\n",
+                     argv[i]);
+        return 2;
+      }
+      check_options.disabled.push_back(rule);
+    } else if (arg == "--max-ddcg") {
+      check_options.ddcg_max_fanout = std::stoi(value());
+    } else if (arg == "--cycles") {
+      cycles = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!waiver_file.empty()) {
+      check_options.waivers = check::WaiverSet::parse_file(waiver_file);
+    }
+
+    circuits::Benchmark bench{"custom", "custom", Netlist("custom"), 0, ""};
+    if (!circuit.empty()) {
+      bench = circuits::make_benchmark(circuit);
+    } else if (!in_file.empty()) {
+      std::ifstream in(in_file);
+      require(in.good(), "cannot open " + in_file);
+      bench.netlist = read_verilog(in);
+      bench.name = bench.netlist.name();
+      bench.period_ps = bench.netlist.clocks().period_ps;
+    } else {
+      return usage(argv[0]);
+    }
+
+    check::CheckReport report;
+    RuleChecks stage_reports;
+    if (style_text == "raw") {
+      report = check::run_checks(bench.netlist, check_options);
+    } else {
+      DesignStyle style;
+      if (style_text == "ff") {
+        style = DesignStyle::kFlipFlop;
+      } else if (style_text == "ms") {
+        style = DesignStyle::kMasterSlave;
+      } else if (style_text == "3p") {
+        style = DesignStyle::kThreePhase;
+      } else {
+        return usage(argv[0]);
+      }
+      FlowOptions options;
+      options.lint = check_options;
+      options.check_rules = stages;
+      const Stimulus stim = circuits::make_stimulus(
+          bench, circuits::Workload::kPaperDefault, cycles, 7);
+      FlowResult result = run_flow(bench, style, stim, options);
+      stage_reports = std::move(result.lint);
+      // The final netlist still gets its own report (the flow raises the
+      // lint DDCG cap to its own configuration; standalone linting keeps
+      // the caller's cap).
+      report = check::run_checks(result.netlist, check_options);
+    }
+
+    if (!baseline_file.empty()) {
+      std::ofstream out(baseline_file);
+      require(out.good(), "cannot open " + baseline_file);
+      out << report.to_baseline();
+      if (!quiet) {
+        std::printf("wrote %d waiver line(s) to %s\n",
+                    report.errors + report.warnings + report.infos,
+                    baseline_file.c_str());
+      }
+      return 0;
+    }
+
+    if (json) {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      for (const StageLint& stage : stage_reports.stages) {
+        std::printf("stage %-12s %s (%d error(s), %d warning(s))\n",
+                    stage.stage.c_str(),
+                    stage.report.clean() ? "clean" : "VIOLATIONS",
+                    stage.report.errors, stage.report.warnings);
+      }
+      if (const StageLint* blamed = stage_reports.first_violation()) {
+        std::printf("first violation introduced by stage '%s'\n",
+                    blamed->stage.c_str());
+      }
+      if (quiet) {
+        std::printf("%s: %d error(s), %d warning(s), %d waived — %s\n",
+                    report.design.c_str(), report.errors, report.warnings,
+                    report.waived, report.clean() ? "clean" : "VIOLATIONS");
+      } else {
+        std::printf("%s", report.to_text().c_str());
+      }
+    }
+    return report.clean() && stage_reports.all_clean() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Verify formatting and lint config without rewriting anything.
+#
+#   scripts/check_format.sh          # check files changed vs the merge base
+#   scripts/check_format.sh --all    # check every tracked C++ file
+#
+# Exits non-zero when clang-format would change a file. Tools are optional:
+# when clang-format / clang-tidy are not installed (e.g. the minimal build
+# container) the corresponding step is skipped with a note so the script
+# stays usable as a CI gate on runners that do have them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-changed}"
+if [[ "$mode" == "--all" ]]; then
+  mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+else
+  base="$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse 'HEAD~1' 2>/dev/null || true)"
+  if [[ -n "$base" ]]; then
+    mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$base" -- '*.cpp' '*.hpp')
+  else
+    mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+  fi
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no C++ files to check"
+  exit 0
+fi
+
+status=0
+
+if command -v clang-format >/dev/null 2>&1; then
+  bad=()
+  for f in "${files[@]}"; do
+    [[ -f "$f" ]] || continue
+    if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+      bad+=("$f")
+    fi
+  done
+  if [[ ${#bad[@]} -gt 0 ]]; then
+    echo "check_format: clang-format would reformat:"
+    printf '  %s\n' "${bad[@]}"
+    status=1
+  else
+    echo "check_format: clang-format clean (${#files[@]} file(s))"
+  fi
+else
+  echo "check_format: clang-format not installed, skipping format check"
+fi
+
+# Config sanity: both dotfiles must parse even on runners without the tools.
+for cfg in .clang-format .clang-tidy; do
+  [[ -f "$cfg" ]] || { echo "check_format: missing $cfg"; status=1; }
+done
+
+exit $status

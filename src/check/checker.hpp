@@ -1,0 +1,82 @@
+// Static phase-rule checker (netlist lint).
+//
+// run_checks() evaluates every registered phase-legality rule on a netlist
+// in O(|netlist|)-ish time and returns structured diagnostics — the static
+// complement of the SEC subsystem (src/equiv/): SEC proves functional
+// equivalence but cannot flag timing-race or clock-legality defects that
+// happen to preserve the sampled behavior; the lint rules encode the
+// paper's structural invariants (C1/C2/C3, ICG duplication, the DDCG
+// fanout cap, M1/M2 legality) directly, so they catch those defects after
+// every transform stage and are cheap enough for CI and fuzzing.
+//
+// The rule catalog lives in rule_registry(); docs/lint.md cross-references
+// each rule with the paper constraint it enforces.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/check/diagnostic.hpp"
+#include "src/check/waiver.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace tp::check {
+
+struct CheckOptions {
+  /// Maximum registers per data-driven clock-gating group (the paper's
+  /// multi-bit DDCG cap). run_flow() raises this to its DdcgOptions value
+  /// when the flow is configured with a larger cap.
+  int ddcg_max_fanout = 32;
+  /// Rules to skip entirely (no diagnostics, counted as not run).
+  std::vector<RuleId> disabled;
+  /// Known-benign findings; matching diagnostics are kept but marked
+  /// waived and excluded from the severity counts and clean().
+  WaiverSet waivers;
+};
+
+struct CheckReport {
+  std::string design;  // netlist name at check time
+  std::vector<Diagnostic> diags;
+
+  // Severity counts over unwaived diagnostics.
+  int errors = 0;
+  int warnings = 0;
+  int infos = 0;
+  int waived = 0;
+
+  /// Unwaived finding count per rule.
+  std::array<int, kNumRules> count_by_rule{};
+
+  [[nodiscard]] int count(RuleId rule) const {
+    return count_by_rule[static_cast<int>(rule)];
+  }
+  /// No unwaived errors or warnings (infos never fail a run).
+  [[nodiscard]] bool clean() const { return errors == 0 && warnings == 0; }
+
+  /// Multi-line human-readable report (diagnostics + summary line).
+  [[nodiscard]] std::string to_text() const;
+  /// Single JSON object: counts per rule plus the diagnostic list.
+  [[nodiscard]] std::string to_json() const;
+  /// Waiver lines covering every live finding (see waiver.hpp).
+  [[nodiscard]] std::string to_baseline() const;
+};
+
+/// One registry entry per rule; the registry drives run_checks(),
+/// `lint_cli --list-rules`, and the docs.
+struct RuleSpec {
+  RuleId id;
+  std::string_view name;
+  std::string_view paper_ref;
+  std::string_view summary;
+  Severity severity;
+};
+
+const std::vector<RuleSpec>& rule_registry();
+
+/// Runs every enabled rule on `netlist`. The netlist must satisfy
+/// Netlist::validate(); the checker never mutates it.
+CheckReport run_checks(const Netlist& netlist,
+                       const CheckOptions& options = {});
+
+}  // namespace tp::check

@@ -1,0 +1,114 @@
+#include "src/check/diagnostic.hpp"
+
+#include "src/util/strcat.hpp"
+
+namespace tp::check {
+namespace {
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view ref;
+  std::string_view summary;
+  Severity severity;
+};
+
+const RuleInfo& info(RuleId rule) {
+  static const RuleInfo kTable[kNumRules] = {
+      {"clock-reachability", "Sec. IV-B (clock network rebuild)",
+       "every register/ICG clock pin traces through the clock tree to "
+       "exactly one phase root, without inversion, matching its phase tag",
+       Severity::kError},
+      {"mixed-phase-icg", "Sec. IV-B (ICG duplication)",
+       "an ICG's gated clock reaches registers of two different phases — "
+       "the conversion missed a per-phase duplication",
+       Severity::kError},
+      {"constant-clock", "Sec. IV-B (clock network rebuild)",
+       "a register or ICG clock pin is tied to a constant", Severity::kError},
+      {"transparency-race", "C2 (Sec. II)",
+       "combinational path between two latches whose transparency windows "
+       "overlap in the clock schedule — data can race through both",
+       Severity::kError},
+      {"phase-order", "C1 (Sec. IV-A)",
+       "single-latch / back-to-back audit: no un-latched FF position, no "
+       "same-phase latch adjacency, no p3-to-p1 or PI-to-p1 path without an "
+       "inserted p2 latch",
+       Severity::kError},
+      {"latch-self-loop", "C1 (Sec. IV-A, self-loop => G = 1)",
+       "a level-sensitive latch feeds its own data pin through "
+       "combinational logic only, bypassing the inserted p2 latch",
+       Severity::kError},
+      {"comb-cycle", "Sec. IV-A (register graph)",
+       "combinational cycle (no register on the loop)", Severity::kError},
+      {"floating-net", "structural",
+       "a net with live consumers has no driver", Severity::kError},
+      {"multiple-drivers", "structural",
+       "a net is driven by more than one live cell", Severity::kError},
+      {"ddcg-fanout", "Sec. IV-D (multi-bit DDCG, <= 32 per group)",
+       "a data-driven clock-gating group gates more registers than the "
+       "fanout cap",
+       Severity::kError},
+      {"m1-borrow-window", "Fig. 3(c1) (modification M1)",
+       "an M1 cell's borrow phase (PB) must be a phase root whose high "
+       "window does not overlap the gated phase's window",
+       Severity::kError},
+      {"m2-enable-phase", "Fig. 3(c2) (modification M2)",
+       "a latch-free ICG (M2) has an enable source latched by the phase it "
+       "gates — the enable can glitch while the clock is high",
+       Severity::kError},
+      {"schedule-sanity", "C3 / SMO model (Sec. II)",
+       "clock plan sanity: ordered closing edges, non-overlapping phase "
+       "windows, valid roots; phase segments above Tc/2 break the "
+       "half-stage throughput bound",
+       Severity::kError},
+  };
+  return kTable[static_cast<int>(rule)];
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view rule_name(RuleId rule) { return info(rule).name; }
+std::string_view rule_paper_ref(RuleId rule) { return info(rule).ref; }
+std::string_view rule_summary(RuleId rule) { return info(rule).summary; }
+Severity rule_severity(RuleId rule) { return info(rule).severity; }
+
+bool rule_from_name(std::string_view name, RuleId* rule) {
+  for (int i = 0; i < kNumRules; ++i) {
+    if (info(static_cast<RuleId>(i)).name == name) {
+      if (rule) *rule = static_cast<RuleId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = cat(severity_name(severity), "[", rule_name(rule), "] ",
+                        message);
+  const auto append_list = [&out](const char* label,
+                                  const std::vector<std::string>& names) {
+    if (names.empty()) return;
+    out += cat(" (", label, ": ");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i) out += ", ";
+      out += names[i];
+    }
+    out += ")";
+  };
+  append_list("cells", cells);
+  append_list("nets", nets);
+  if (!hint.empty()) out += cat(" hint: ", hint);
+  out += cat(" {", rule_paper_ref(rule), "}");
+  if (waived) out += " [waived]";
+  return out;
+}
+
+}  // namespace tp::check

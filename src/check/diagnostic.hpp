@@ -1,0 +1,67 @@
+// Structured diagnostics for the static phase-rule checker.
+//
+// Every finding carries a rule id (stable, kebab-case name used in waiver
+// files and JSON output), a severity, the offending cell/net names, and a
+// fix hint. Diagnostics reference names rather than ids so that waivers and
+// baselines stay meaningful across transform stages that renumber cells.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp::check {
+
+enum class Severity : int { kInfo, kWarning, kError };
+
+std::string_view severity_name(Severity severity);
+
+/// Rule identifiers, one per phase-legality check. The numeric order is the
+/// report order; rule_name() gives the stable external name.
+enum class RuleId : int {
+  kClockReachability,  // clock pins trace to exactly one phase root
+  kMixedPhaseIcg,      // ICG fanout spans two phases (missed duplication)
+  kConstantClock,      // clock pin tied to a constant
+  kTransparencyRace,   // C2: adjacent latches simultaneously transparent
+  kPhaseOrder,         // C1: single-latch / back-to-back structural audit
+  kLatchSelfLoop,      // latch feedback bypassing the inserted p2 latch
+  kCombCycle,          // combinational cycle
+  kFloatingNet,        // net with consumers but no driver
+  kMultipleDrivers,    // net driven by more than one live cell
+  kDdcgFanout,         // multi-bit DDCG group wider than the fanout cap
+  kM1BorrowWindow,     // M1 borrow phase overlaps the gated phase
+  kM2EnablePhase,      // M2 cell with a same-phase enable source
+  kScheduleSanity,     // C3 / SMO closing-edge and window sanity
+};
+
+inline constexpr int kNumRules = static_cast<int>(RuleId::kScheduleSanity) + 1;
+
+/// Stable external rule name ("transparency-race", ...).
+std::string_view rule_name(RuleId rule);
+
+/// Paper constraint or section the rule encodes ("C2 (Sec. II)", ...).
+std::string_view rule_paper_ref(RuleId rule);
+
+/// One-line description for --list-rules and the docs.
+std::string_view rule_summary(RuleId rule);
+
+/// Default severity of the rule's findings.
+Severity rule_severity(RuleId rule);
+
+/// Inverse of rule_name(); returns false for unknown names.
+bool rule_from_name(std::string_view name, RuleId* rule);
+
+struct Diagnostic {
+  RuleId rule = RuleId::kClockReachability;
+  Severity severity = Severity::kError;
+  std::string message;
+  std::vector<std::string> cells;  // offending cell names (may be empty)
+  std::vector<std::string> nets;   // offending net names (may be empty)
+  std::string hint;                // how to fix
+  bool waived = false;
+
+  /// "error[transparency-race] ... (cells: a, b) hint: ... {C2 (Sec. II)}"
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace tp::check

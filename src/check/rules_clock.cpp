@@ -1,0 +1,214 @@
+// Clock-network legality rules: clock-pin reachability, ICG phase
+// duplication, constant clocks, the DDCG fanout cap, and M1/M2 legality.
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/check/rules.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::check {
+namespace {
+
+bool is_three_phase(Phase phase) {
+  return phase == Phase::kP1 || phase == Phase::kP2 || phase == Phase::kP3;
+}
+
+}  // namespace
+
+void rule_clock_reachability(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  for (const CellId id : netlist.registers()) {
+    const Cell& cell = netlist.cell(id);
+    const NetId clk = cell.ins[clock_pin(cell.kind)];
+    const ClockTrace& trace = ctx.clock_trace(clk);
+    switch (trace.kind) {
+      case ClockTraceKind::kPhaseRoot:
+        if (cell.phase != Phase::kNone && !trace.inverted &&
+            cell.phase != trace.phase) {
+          ctx.emit(RuleId::kClockReachability,
+                   cat("register '", cell.name, "' is tagged ",
+                       phase_name(cell.phase),
+                       " but its clock pin traces to the ",
+                       phase_name(trace.phase), " root"),
+                   {cell.name}, {netlist.net(clk).name},
+                   "retag the cell or rewire its clock pin onto the tagged "
+                   "phase's clock tree");
+        }
+        break;
+      case ClockTraceKind::kData:
+        ctx.emit(RuleId::kClockReachability,
+                 cat("clock pin of register '", cell.name,
+                     "' does not trace to a phase root (reaches data logic "
+                     "or a clock-network cycle)"),
+                 {cell.name}, {netlist.net(clk).name},
+                 "route the clock pin through clock buffers/ICGs to exactly "
+                 "one phase root");
+        break;
+      case ClockTraceKind::kFloating:
+        ctx.emit(RuleId::kClockReachability,
+                 cat("clock pin of register '", cell.name,
+                     "' traces to an undriven net"),
+                 {cell.name}, {netlist.net(clk).name},
+                 "connect the clock pin to a phase root");
+        break;
+      case ClockTraceKind::kConstant:
+        break;  // reported by the constant-clock rule
+    }
+  }
+}
+
+void rule_mixed_phase_icg(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    if (!is_icg(cell.kind)) continue;
+    // Distinct 3-phase tags among the gated registers. One witness per
+    // phase; clk/clkbar mixing (the retiming master-slave idiom) is legal.
+    Phase seen[3] = {Phase::kNone, Phase::kNone, Phase::kNone};
+    std::vector<std::string> witnesses;
+    int distinct = 0;
+    for (const CellId sink_id : ctx.clock_sinks(cell.out)) {
+      const Cell& sink = netlist.cell(sink_id);
+      if (!is_three_phase(sink.phase)) continue;
+      const int slot = static_cast<int>(sink.phase) -
+                       static_cast<int>(Phase::kP1);
+      if (seen[slot] == Phase::kNone) {
+        seen[slot] = sink.phase;
+        witnesses.push_back(sink.name);
+        ++distinct;
+      }
+    }
+    if (distinct > 1) {
+      std::string phases;
+      for (const Phase phase : seen) {
+        if (phase == Phase::kNone) continue;
+        if (!phases.empty()) phases += "/";
+        phases += phase_name(phase);
+      }
+      std::vector<std::string> cells{cell.name};
+      cells.insert(cells.end(), witnesses.begin(), witnesses.end());
+      ctx.emit(RuleId::kMixedPhaseIcg,
+               cat("clock gate '", cell.name, "' fans out to registers of ",
+                   distinct, " phases (", phases, ")"),
+               std::move(cells), {netlist.net(cell.out).name},
+               "duplicate the ICG per phase as in the conversion step");
+    }
+  }
+}
+
+void rule_constant_clock(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  for (const CellId id : netlist.registers()) {
+    const Cell& cell = netlist.cell(id);
+    const NetId clk = cell.ins[clock_pin(cell.kind)];
+    const ClockTrace& trace = ctx.clock_trace(clk);
+    if (trace.kind != ClockTraceKind::kConstant) continue;
+    const bool value = trace.constant_value != trace.inverted;
+    ctx.emit(RuleId::kConstantClock,
+             cat("clock pin of register '", cell.name,
+                 "' is tied to constant ", value ? "1" : "0",
+                 is_latch(cell.kind)
+                     ? (value != (cell.kind == CellKind::kLatchL)
+                            ? " (latch is always transparent)"
+                            : " (latch is always opaque)")
+                     : " (register never samples)"),
+             {cell.name}, {netlist.net(clk).name},
+             "drive the clock pin from a phase root");
+  }
+}
+
+void rule_ddcg_fanout(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  const int cap = ctx.options().ddcg_max_fanout;
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    if (!is_icg(cell.kind)) continue;
+    const std::vector<CellId> sinks = ctx.clock_sinks(cell.out);
+    if (static_cast<int>(sinks.size()) <= cap) continue;
+    // The cap applies only to data-driven groups (enable derived from the
+    // gated registers themselves, Sec. IV-D); a wide common-enable group is
+    // legal.
+    const auto& sources = ctx.enable_sources();
+    const auto it = sources.find(id.value());
+    if (it == sources.end()) continue;
+    const std::unordered_set<std::uint32_t> sink_set = [&] {
+      std::unordered_set<std::uint32_t> set;
+      for (const CellId sink : sinks) set.insert(sink.value());
+      return set;
+    }();
+    const bool data_driven =
+        std::any_of(it->second.begin(), it->second.end(),
+                    [&](CellId src) { return sink_set.count(src.value()); });
+    if (!data_driven) continue;
+    ctx.emit(RuleId::kDdcgFanout,
+             cat("data-driven clock gate '", cell.name, "' drives ",
+                 sinks.size(), " registers (cap ", cap, ")"),
+             {cell.name}, {netlist.net(cell.out).name},
+             "split the group: XOR-tree detection cost outgrows the gating "
+             "benefit past the cap");
+  }
+}
+
+void rule_m1_borrow_window(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    if (cell.kind != CellKind::kIcgM1) continue;
+    const ClockTrace& ck = ctx.clock_trace(cell.ins[1]);
+    const ClockTrace& pb = ctx.clock_trace(cell.ins[2]);
+    if (pb.kind != ClockTraceKind::kPhaseRoot) {
+      ctx.emit(RuleId::kM1BorrowWindow,
+               cat("M1 clock gate '", cell.name,
+                   "' has a borrow pin that does not trace to a phase root"),
+               {cell.name}, {netlist.net(cell.ins[2]).name},
+               "drive PB from the phase whose window precedes the gated "
+               "clock (p3 for a p2 gate, p1 for a DDCG)");
+      continue;
+    }
+    if (ck.kind != ClockTraceKind::kPhaseRoot) continue;  // reachability's job
+    const WindowSet ck_window =
+        phase_high_window(netlist.clocks(), ck.phase, ck.inverted);
+    const WindowSet pb_window =
+        phase_high_window(netlist.clocks(), pb.phase, pb.inverted);
+    if (windows_overlap(ck_window, pb_window)) {
+      ctx.emit(RuleId::kM1BorrowWindow,
+               cat("M1 clock gate '", cell.name,
+                   "' is enable-transparent on ", phase_name(pb.phase),
+                   " while its gated clock ", phase_name(ck.phase),
+                   " is high — the enable can glitch into the pulse"),
+               {cell.name}, {netlist.net(cell.ins[2]).name},
+               "pick a borrow phase whose high window is disjoint from the "
+               "gated phase (Fig. 3(c1))");
+    }
+  }
+}
+
+void rule_m2_enable_phase(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    if (cell.kind != CellKind::kIcgNoLatch) continue;
+    const ClockTrace& gated = ctx.clock_trace(cell.ins[1]);
+    if (gated.kind != ClockTraceKind::kPhaseRoot) continue;
+    const auto& sources = ctx.enable_sources();
+    const auto it = sources.find(id.value());
+    if (it == sources.end()) continue;
+    for (const CellId src_id : it->second) {
+      const Cell& src = netlist.cell(src_id);
+      // Data PIs behave like p1 outputs (they settle before p1 closes).
+      const Phase src_phase =
+          src.kind == CellKind::kInput ? Phase::kP1 : src.phase;
+      if (src_phase != gated.phase) continue;
+      ctx.emit(RuleId::kM2EnablePhase,
+               cat("latch-free clock gate '", cell.name,
+                   "' has enable source '", src.name, "' on its own phase ",
+                   phase_name(gated.phase),
+                   " — the enable can change mid-pulse"),
+               {cell.name, src.name}, {netlist.net(cell.ins[0]).name},
+               "keep the conventional ICG latch (undo M2) or re-source the "
+               "enable from another phase (Sec. IV-D)");
+    }
+  }
+}
+
+}  // namespace tp::check

@@ -1,0 +1,229 @@
+// Phase-discipline rules over the register adjacency graph: the C2
+// transparency race, the C1/phase-order audit (dropped p2 latches, direct
+// PI-to-p1 paths), latch self-loops, and clock-schedule sanity (C3).
+#include "src/check/rules.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::check {
+namespace {
+
+Phase traced_phase(RuleContext& ctx, const Cell& cell) {
+  const ClockTrace& trace = ctx.clock_trace(cell.ins[clock_pin(cell.kind)]);
+  if (trace.kind != ClockTraceKind::kPhaseRoot || trace.inverted) {
+    return Phase::kNone;
+  }
+  return trace.phase;
+}
+
+std::string window_text(const WindowSet& window) {
+  std::string out;
+  for (int i = 0; i < window.n; ++i) {
+    if (!out.empty()) out += "+";
+    out += cat("[", window.span[i][0], ",", window.span[i][1], ")");
+  }
+  return out;
+}
+
+}  // namespace
+
+void rule_transparency_race(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  const ClockSpec& clocks = netlist.clocks();
+  // C2 is a property of the 3-phase schedule. The clk/clkbar master-slave
+  // intermediate deliberately nests same-phase transparent latches during
+  // slave retiming (delay-verified time borrowing, see retime.cpp), so
+  // window overlap is only statically illegal under a 3-phase plan.
+  if (clocks.find(Phase::kP1) == nullptr ||
+      clocks.find(Phase::kP2) == nullptr ||
+      clocks.find(Phase::kP3) == nullptr) {
+    return;
+  }
+  const RegisterGraph* graph = ctx.register_graph();
+  if (graph == nullptr) return;
+  for (std::size_t u = 0; u < graph->regs.size(); ++u) {
+    const WindowSet wu = ctx.latch_window(graph->regs[u]);
+    if (wu.empty()) continue;
+    for (const int v : graph->fanout[u]) {
+      if (v == static_cast<int>(u)) continue;  // latch-self-loop's job
+      const WindowSet wv = ctx.latch_window(graph->regs[v]);
+      if (wv.empty() || !windows_overlap(wu, wv)) continue;
+      const Cell& cu = netlist.cell(graph->regs[u]);
+      const Cell& cv = netlist.cell(graph->regs[v]);
+      // A p2 latch feeding a p2 latch is the retimer's transparent nesting
+      // (the downstream latch passes the same cycle's value, delay-checked
+      // at insertion time) — legal. Same-phase p1/p1 or p3/p3 adjacency can
+      // only come from a dropped p2 latch and stays a violation.
+      if (traced_phase(ctx, cu) == Phase::kP2 &&
+          traced_phase(ctx, cv) == Phase::kP2) {
+        continue;
+      }
+      ctx.emit(RuleId::kTransparencyRace,
+               cat("latch '", cu.name, "' (transparent ", window_text(wu),
+                   " ps) feeds latch '", cv.name, "' (transparent ",
+                   window_text(wv),
+                   " ps): both are open at once, data races through"),
+               {cu.name, cv.name}, {},
+               "re-phase one latch so adjacent transparency windows are "
+               "disjoint (C2)");
+    }
+  }
+}
+
+void rule_phase_order(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  const ClockSpec& clocks = netlist.clocks();
+  if (clocks.find(Phase::kP1) == nullptr ||
+      clocks.find(Phase::kP2) == nullptr ||
+      clocks.find(Phase::kP3) == nullptr) {
+    return;  // the adjacency discipline below is specific to 3-phase plans
+  }
+  const RegisterGraph* graph = ctx.register_graph();
+  if (graph == nullptr) return;
+
+  for (std::size_t u = 0; u < graph->regs.size(); ++u) {
+    const Cell& cu = netlist.cell(graph->regs[u]);
+    if (!is_latch(cu.kind) || traced_phase(ctx, cu) != Phase::kP3) continue;
+    for (const int v : graph->fanout[u]) {
+      const Cell& cv = netlist.cell(graph->regs[v]);
+      if (!is_latch(cv.kind) || traced_phase(ctx, cv) != Phase::kP1) {
+        continue;
+      }
+      ctx.emit(RuleId::kPhaseOrder,
+               cat("p3 latch '", cu.name, "' feeds p1 latch '", cv.name,
+                   "' with no intervening p2 latch"),
+               {cu.name, cv.name}, {},
+               "re-insert the p2 latch the conversion places between "
+               "back-to-back stages (K(u)=K(v)=1 => G(u)=1, Sec. IV-A)");
+    }
+  }
+
+  // Interface rule: a data PI driving a p1 latch needs a p2 latch at the
+  // input boundary (K(v)=1 for v in FO(pi) => G(pi)=1).
+  for (std::size_t i = 0; i < graph->data_pis.size(); ++i) {
+    const Cell& pi = netlist.cell(graph->data_pis[i]);
+    for (const int v : graph->pi_fanout[i]) {
+      const Cell& cv = netlist.cell(graph->regs[v]);
+      if (!is_latch(cv.kind) || traced_phase(ctx, cv) != Phase::kP1) {
+        continue;
+      }
+      ctx.emit(RuleId::kPhaseOrder,
+               cat("data input '", pi.name, "' feeds p1 latch '", cv.name,
+                   "' directly"),
+               {pi.name, cv.name}, {},
+               "insert a p2 interface latch after the input (Sec. IV-A)");
+    }
+  }
+}
+
+void rule_latch_self_loop(RuleContext& ctx) {
+  const RegisterGraph* graph = ctx.register_graph();
+  if (graph == nullptr) return;
+  const Netlist& netlist = ctx.netlist();
+  for (std::size_t u = 0; u < graph->regs.size(); ++u) {
+    const Cell& cell = netlist.cell(graph->regs[u]);
+    // Combinational feedback around an edge-sampling register is ordinary
+    // state-machine structure; around a transparent latch it races.
+    if (!is_latch(cell.kind)) continue;
+    if (!graph->has_self_loop(static_cast<int>(u))) continue;
+    ctx.emit(RuleId::kLatchSelfLoop,
+             cat("level-sensitive latch '", cell.name,
+                 "' has combinational feedback onto its own input"),
+             {cell.name}, {},
+             "break the loop with the opposite-phase latch the conversion "
+             "inserts (G(u)=1 when u is in FO(u))");
+  }
+}
+
+void rule_schedule_sanity(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  const ClockSpec& clocks = netlist.clocks();
+  if (clocks.phases.empty()) return;
+  if (clocks.period_ps <= 0) {
+    ctx.emit(RuleId::kScheduleSanity,
+             cat("clock period is ", clocks.period_ps, " ps"), {}, {},
+             "set a positive common period");
+    return;
+  }
+  bool seen[6] = {};
+  for (const PhaseWaveform& wave : clocks.phases) {
+    const int slot = static_cast<int>(wave.phase);
+    if (seen[slot]) {
+      ctx.emit(RuleId::kScheduleSanity,
+               cat("phase ", phase_name(wave.phase),
+                   " appears twice in the clock plan"),
+               {}, {}, "keep one waveform per phase");
+    }
+    seen[slot] = true;
+    if (!wave.root.valid()) {
+      ctx.emit(RuleId::kScheduleSanity,
+               cat("phase ", phase_name(wave.phase), " has no root net"), {},
+               {}, "declare the root with set_clock_root");
+    } else if (!netlist.net(wave.root).is_clock) {
+      ctx.emit(RuleId::kScheduleSanity,
+               cat("root net of phase ", phase_name(wave.phase),
+                   " is not marked as a clock net"),
+               {}, {netlist.net(wave.root).name},
+               "mark the root with mark_clock_net");
+    }
+    if (wave.rise_ps < 0 || wave.fall_ps > clocks.period_ps ||
+        wave.rise_ps == wave.fall_ps) {
+      ctx.emit(RuleId::kScheduleSanity,
+               cat("phase ", phase_name(wave.phase),
+                   " has a degenerate waveform rise=", wave.rise_ps,
+                   " fall=", wave.fall_ps, " (period ", clocks.period_ps,
+                   ")"),
+               {}, {}, "keep 0 <= rise < fall <= period");
+    }
+  }
+  // Phase high windows must be pairwise disjoint.
+  for (std::size_t a = 0; a < clocks.phases.size(); ++a) {
+    for (std::size_t b = a + 1; b < clocks.phases.size(); ++b) {
+      const WindowSet wa =
+          phase_high_window(clocks, clocks.phases[a].phase, false);
+      const WindowSet wb =
+          phase_high_window(clocks, clocks.phases[b].phase, false);
+      if (windows_overlap(wa, wb)) {
+        ctx.emit(RuleId::kScheduleSanity,
+                 cat("phases ", phase_name(clocks.phases[a].phase), " and ",
+                     phase_name(clocks.phases[b].phase),
+                     " have overlapping high windows"),
+                 {}, {}, "phases of one cycle must not overlap (Sec. II)");
+      }
+    }
+  }
+  // 3-phase closing-edge order e1 <= e2 <= e3 = Tc and the C3 half-cycle
+  // bound on each stage duration. Exceeding C3 is legal for a deliberately
+  // skewed schedule, hence a warning.
+  const PhaseWaveform* p1 = clocks.find(Phase::kP1);
+  const PhaseWaveform* p2 = clocks.find(Phase::kP2);
+  const PhaseWaveform* p3 = clocks.find(Phase::kP3);
+  if (p1 != nullptr && p2 != nullptr && p3 != nullptr) {
+    const std::int64_t edges[3] = {p1->fall_ps, p2->fall_ps, p3->fall_ps};
+    if (!(edges[0] <= edges[1] && edges[1] <= edges[2] &&
+          edges[2] == clocks.period_ps)) {
+      ctx.emit(RuleId::kScheduleSanity,
+               cat("3-phase closing edges e1=", edges[0], " e2=", edges[1],
+                   " e3=", edges[2], " violate e1 <= e2 <= e3 = Tc (",
+                   clocks.period_ps, ")"),
+               {}, {}, "reorder the schedule (SMO model, Sec. II)");
+    } else {
+      std::int64_t prev = 0;
+      const Phase names[3] = {Phase::kP1, Phase::kP2, Phase::kP3};
+      for (int i = 0; i < 3; ++i) {
+        const std::int64_t segment = edges[i] - prev;
+        if (2 * segment > clocks.period_ps) {
+          ctx.emit(RuleId::kScheduleSanity, Severity::kWarning,
+                   cat("stage ending at ", phase_name(names[i]), " spans ",
+                       segment, " ps, more than half the ", clocks.period_ps,
+                       " ps cycle"),
+                   {}, {},
+                   "C3 bounds each stage to Tc/2; longer stages shrink the "
+                   "other phases' slack (Sec. II)");
+        }
+        prev = edges[i];
+      }
+    }
+  }
+}
+
+}  // namespace tp::check

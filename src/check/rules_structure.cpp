@@ -1,0 +1,70 @@
+// Structural sanity rules: combinational cycles, floating nets, and
+// multiply-driven nets. These run first conceptually — a netlist that fails
+// them makes the graph-based phase rules bail out rather than crash.
+#include "src/check/rules.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::check {
+
+void rule_comb_cycle(RuleContext& ctx) {
+  if (!ctx.has_comb_cycle()) return;
+  const Netlist& netlist = ctx.netlist();
+  std::vector<std::string> cells;
+  std::string path;
+  for (const CellId id : ctx.comb_cycle_path()) {
+    cells.push_back(netlist.cell(id).name);
+    if (!path.empty()) path += " -> ";
+    path += netlist.cell(id).name;
+  }
+  ctx.emit(RuleId::kCombCycle,
+           cat("combinational cycle through ", cells.size(), " cell(s): ",
+               path),
+           std::move(cells), {},
+           "break the loop with a register; transparent latches do not "
+           "legalize combinational feedback");
+}
+
+void rule_floating_net(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  for (std::uint32_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& net = netlist.net(NetId{i});
+    if (!net.alive || net.fanouts.empty()) continue;
+    bool consumed = false;
+    for (const PinRef& ref : net.fanouts) {
+      if (netlist.cell(ref.cell).alive) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) continue;
+    if (net.driver.valid() && netlist.cell(net.driver).alive) continue;
+    ctx.emit(RuleId::kFloatingNet,
+             cat("net '", net.name, "' has ", net.fanouts.size(),
+                 " consumer pin(s) but no live driver"),
+             {}, {net.name}, "drive the net or disconnect its consumers");
+  }
+}
+
+void rule_multiple_drivers(RuleContext& ctx) {
+  const Netlist& netlist = ctx.netlist();
+  // The construction API prevents this, so findings here mean a corrupted
+  // netlist (e.g. hand-edited import); still worth a cheap O(cells) sweep.
+  std::vector<CellId> first_driver(netlist.num_nets());
+  for (const CellId id : netlist.live_cells()) {
+    const Cell& cell = netlist.cell(id);
+    if (!cell.out.valid()) continue;
+    CellId& slot = first_driver[cell.out.value()];
+    if (!slot.valid()) {
+      slot = id;
+      continue;
+    }
+    ctx.emit(RuleId::kMultipleDrivers,
+             cat("net '", netlist.net(cell.out).name, "' is driven by both '",
+                 netlist.cell(slot).name, "' and '", cell.name, "'"),
+             {netlist.cell(slot).name, cell.name},
+             {netlist.net(cell.out).name},
+             "give each driver its own net and mux explicitly");
+  }
+}
+
+}  // namespace tp::check

@@ -1,0 +1,89 @@
+#include "src/check/waiver.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/log.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::check {
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative glob with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool Waiver::matches(const Diagnostic& diag) const {
+  if (!any_rule && diag.rule != rule) return false;
+  for (const std::string& name : diag.cells) {
+    if (glob_match(target, name)) return true;
+  }
+  for (const std::string& name : diag.nets) {
+    if (glob_match(target, name)) return true;
+  }
+  if (diag.cells.empty() && diag.nets.empty()) {
+    return glob_match(target, diag.message);
+  }
+  return false;
+}
+
+WaiverSet WaiverSet::parse(std::istream& in) {
+  WaiverSet set;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string rule_text, target;
+    if (!(fields >> rule_text)) continue;  // blank / comment-only line
+    require(static_cast<bool>(fields >> target),
+            cat("waiver line ", line_no, ": expected '<rule> <glob>'"));
+    Waiver waiver;
+    if (rule_text == "*") {
+      waiver.any_rule = true;
+    } else {
+      require(rule_from_name(rule_text, &waiver.rule),
+              cat("waiver line ", line_no, ": unknown rule '", rule_text,
+                  "'"));
+    }
+    waiver.target = std::move(target);
+    std::getline(fields >> std::ws, waiver.reason);
+    set.add(std::move(waiver));
+  }
+  return set;
+}
+
+WaiverSet WaiverSet::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), cat("cannot open waiver file ", path));
+  return parse(in);
+}
+
+bool WaiverSet::matches(const Diagnostic& diag) const {
+  for (const Waiver& waiver : waivers_) {
+    if (waiver.matches(diag)) return true;
+  }
+  return false;
+}
+
+}  // namespace tp::check

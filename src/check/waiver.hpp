@@ -1,0 +1,56 @@
+// Waiver / baseline files: known-benign findings that must not fail CI.
+//
+// A waiver file is line-oriented text:
+//
+//     # comment
+//     <rule-name|*> <name-glob> [free-form reason...]
+//
+// A diagnostic is waived when a line's rule matches the diagnostic's rule
+// (or is "*") and the glob matches any of the diagnostic's cell names, net
+// names, or — when it lists neither — the message. Globs support '*' and
+// '?'. CheckReport::to_baseline() emits this format for every live finding,
+// so a baseline is just a generated waiver file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/check/diagnostic.hpp"
+
+namespace tp::check {
+
+/// Matches `pattern` (with '*' and '?' wildcards) against all of `text`.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+struct Waiver {
+  bool any_rule = false;  // rule field was "*"
+  RuleId rule = RuleId::kClockReachability;
+  std::string target;  // glob over cell/net names
+  std::string reason;
+
+  [[nodiscard]] bool matches(const Diagnostic& diag) const;
+};
+
+class WaiverSet {
+ public:
+  /// Parses waiver lines; throws tp::Error on a malformed line or an
+  /// unknown rule name (typos in waiver files must not silently un-waive).
+  static WaiverSet parse(std::istream& in);
+  static WaiverSet parse_file(const std::string& path);
+
+  void add(Waiver waiver) { waivers_.push_back(std::move(waiver)); }
+
+  [[nodiscard]] bool matches(const Diagnostic& diag) const;
+  [[nodiscard]] bool empty() const { return waivers_.empty(); }
+  [[nodiscard]] std::size_t size() const { return waivers_.size(); }
+  [[nodiscard]] const std::vector<Waiver>& waivers() const {
+    return waivers_;
+  }
+
+ private:
+  std::vector<Waiver> waivers_;
+};
+
+}  // namespace tp::check

@@ -1,5 +1,7 @@
 #include "src/flow/flow.hpp"
 
+#include <algorithm>
+
 #include "src/netlist/traverse.hpp"
 #include "src/place/placer.hpp"
 
@@ -69,17 +71,32 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   // afterwards — checkpoint time is accounted to times.equiv_s, not to the
   // surrounding stage.
   Netlist netlist = benchmark.netlist;
+  // The lint cap must track the flow's own DDCG configuration, otherwise a
+  // deliberately wider flow would flag its own output.
+  check::CheckOptions lint_options = options.lint;
+  lint_options.ddcg_max_fanout = std::max(lint_options.ddcg_max_fanout,
+                                          options.ddcg_options.max_fanout);
   const auto checkpoint = [&](std::string_view stage) {
     if (options.stage_hook) options.stage_hook(netlist, stage);
-    if (!options.check_equivalence) return;
-    Stopwatch watch;
-    StageCheck check;
-    check.stage = std::string(stage);
-    check.result = equiv::check_sequential_equivalence(benchmark.netlist,
-                                                       netlist, options.sec);
-    check.seconds = watch.seconds();
-    result.times.equiv_s += check.seconds;
-    result.equiv.stages.push_back(std::move(check));
+    if (options.check_equivalence) {
+      Stopwatch watch;
+      StageCheck check;
+      check.stage = std::string(stage);
+      check.result = equiv::check_sequential_equivalence(
+          benchmark.netlist, netlist, options.sec);
+      check.seconds = watch.seconds();
+      result.times.equiv_s += check.seconds;
+      result.equiv.stages.push_back(std::move(check));
+    }
+    if (options.check_rules) {
+      Stopwatch watch;
+      StageLint lint;
+      lint.stage = std::string(stage);
+      lint.report = check::run_checks(netlist, lint_options);
+      lint.seconds = watch.seconds();
+      result.times.lint_s += lint.seconds;
+      result.lint.stages.push_back(std::move(lint));
+    }
   };
 
   // 1. "Synthesis": lower enables to the configured clock-gating style.

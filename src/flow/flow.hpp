@@ -15,6 +15,7 @@
 #include <functional>
 #include <string>
 
+#include "src/check/checker.hpp"
 #include "src/circuits/benchmark.hpp"
 #include "src/cts/cts.hpp"
 #include "src/equiv/sec.hpp"
@@ -59,6 +60,12 @@ struct FlowOptions {
   /// first diverges. Opt-in: proofs cost far more than the transforms.
   bool check_equivalence = false;
   equiv::SecOptions sec;
+  /// Run the static phase-rule checker (src/check/) after every transform
+  /// stage, recording per-stage reports so a violation is blamed on the
+  /// first stage that introduced it. Far cheaper than check_equivalence —
+  /// the rules are structural, no SAT involved.
+  bool check_rules = false;
+  check::CheckOptions lint;
   /// Test hook invoked at every SEC checkpoint *before* the check runs;
   /// lets tests inject a fault at a named stage and assert that the
   /// checkpoint report blames exactly that stage.
@@ -91,6 +98,32 @@ struct EquivChecks {
   }
 };
 
+/// One per-stage lint checkpoint (FlowOptions::check_rules).
+struct StageLint {
+  std::string stage;          // "synthesis", "convert", "retime", ...
+  check::CheckReport report;  // rule findings on the stage's output netlist
+  double seconds = 0;
+};
+
+struct RuleChecks {
+  std::vector<StageLint> stages;
+
+  [[nodiscard]] bool all_clean() const {
+    for (const StageLint& s : stages) {
+      if (!s.report.clean()) return false;
+    }
+    return true;
+  }
+  /// First checkpoint with an unwaived violation — the stage to blame
+  /// (nullptr when every stage is clean, or when checking was disabled).
+  [[nodiscard]] const StageLint* first_violation() const {
+    for (const StageLint& s : stages) {
+      if (!s.report.clean()) return &s;
+    }
+    return nullptr;
+  }
+};
+
 /// Per-step wall-clock seconds (the paper reports ILP <= 27 s and < 1% of
 /// total, CTS ~3x and routing +35% for 3-phase designs).
 struct StepTimes {
@@ -104,10 +137,11 @@ struct StepTimes {
   double cts_s = 0;
   double sim_s = 0;
   double equiv_s = 0;  // per-stage SEC checkpoints (opt-in)
+  double lint_s = 0;   // per-stage rule checks (opt-in)
 
   [[nodiscard]] double total_s() const {
     return synthesis_s + ilp_s + convert_s + retime_s + clock_gating_s +
-           timing_s + place_s + cts_s + sim_s + equiv_s;
+           timing_s + place_s + cts_s + sim_s + equiv_s + lint_s;
   }
 };
 
@@ -141,6 +175,9 @@ struct FlowResult {
 
   /// Per-stage SEC checkpoints (empty unless check_equivalence was set).
   EquivChecks equiv;
+
+  /// Per-stage rule-check reports (empty unless check_rules was set).
+  RuleChecks lint;
 };
 
 /// Runs the complete flow for one style of the benchmark under `stimulus`.
