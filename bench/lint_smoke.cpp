@@ -4,85 +4,91 @@
 // must produce zero findings at every checkpoint (the checker's
 // false-positive regression gate, wired into CI).
 //
-//   $ ./bench/lint_smoke [--json] [--cycles N] [NAME...]
+// The 54-run matrix executes on the parallel flow-matrix engine
+// (src/flow/matrix.hpp); results are identical for any thread count.
+//
+//   $ ./bench/lint_smoke [--json] [--cycles N] [--threads N] [NAME...]
 //
 // Exit status: 0 when every stage of every run is clean, 1 otherwise.
-#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 int main(int argc, char** argv) {
   bool json = false;
-  std::size_t cycles = 96;
+  std::size_t cycles = 96, threads = 0;
   std::vector<std::string> only;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
-      cycles = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else {
-      only.emplace_back(argv[i]);
-    }
+
+  util::ArgParser parser(
+      "lint_smoke", "run every benchmark x style flow with per-stage rule "
+                    "checking and require zero findings");
+  parser.add_flag("--json", &json, "emit one JSON object per run");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 96)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_positionals(&only, "NAME",
+                         "benchmark names to include (default all)");
+  parser.parse_or_exit(argc, argv);
+
+  RunPlan plan;
+  plan.benchmarks = only;  // empty selects every built-in benchmark
+  plan.cycles = cycles;
+  plan.stimulus_seed = 7;
+  plan.options.check_rules = true;
+
+  std::vector<MatrixResult> results;
+  try {
+    util::Executor executor(threads);
+    results = run_matrix(plan, executor);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 
-  const DesignStyle styles[] = {DesignStyle::kFlipFlop,
-                                DesignStyle::kMasterSlave,
-                                DesignStyle::kThreePhase};
   int runs = 0, dirty = 0;
   if (!json) {
     std::printf("%-8s %-5s | %7s %7s %6s | %s\n", "design", "style",
                 "errors", "warns", "stages", "verdict");
   }
-  for (const auto& name : circuits::benchmark_names()) {
-    if (!only.empty() &&
-        std::find(only.begin(), only.end(), name) == only.end()) {
-      continue;
+  for (const MatrixResult& run : results) {
+    const FlowResult& result = run.result;
+    int errors = 0, warnings = 0;
+    for (const StageLint& stage : result.lint.stages) {
+      errors += stage.report.errors;
+      warnings += stage.report.warnings;
     }
-    const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-    for (const DesignStyle style : styles) {
-      FlowOptions options;
-      options.check_rules = true;
-      const FlowResult result = run_flow(bench, style, stim, options);
-      int errors = 0, warnings = 0;
-      for (const StageLint& stage : result.lint.stages) {
-        errors += stage.report.errors;
-        warnings += stage.report.warnings;
+    const StageLint* blamed = result.lint.first_violation();
+    ++runs;
+    if (blamed != nullptr) ++dirty;
+    const std::string style = std::string(style_name(run.task.style));
+    if (json) {
+      std::printf("{\"design\":\"%s\",\"style\":\"%s\",\"errors\":%d,"
+                  "\"warnings\":%d,\"stages\":%zu,\"clean\":%s%s%s%s}\n",
+                  run.task.benchmark.c_str(), style.c_str(), errors,
+                  warnings, result.lint.stages.size(),
+                  blamed == nullptr ? "true" : "false",
+                  blamed == nullptr ? "" : ",\"blamed_stage\":\"",
+                  blamed == nullptr ? "" : blamed->stage.c_str(),
+                  blamed == nullptr ? "" : "\"");
+    } else {
+      std::printf("%-8s %-5s | %7d %7d %6zu | %s\n",
+                  run.task.benchmark.c_str(), style.c_str(), errors,
+                  warnings, result.lint.stages.size(),
+                  blamed == nullptr
+                      ? "clean"
+                      : ("VIOLATIONS at " + blamed->stage).c_str());
+      if (blamed != nullptr) {
+        std::printf("%s", blamed->report.to_text().c_str());
       }
-      const StageLint* blamed = result.lint.first_violation();
-      ++runs;
-      if (blamed != nullptr) ++dirty;
-      if (json) {
-        std::printf("{\"design\":\"%s\",\"style\":\"%s\",\"errors\":%d,"
-                    "\"warnings\":%d,\"stages\":%zu,\"clean\":%s%s%s%s}\n",
-                    name.c_str(), std::string(style_name(style)).c_str(),
-                    errors, warnings, result.lint.stages.size(),
-                    blamed == nullptr ? "true" : "false",
-                    blamed == nullptr ? "" : ",\"blamed_stage\":\"",
-                    blamed == nullptr ? "" : blamed->stage.c_str(),
-                    blamed == nullptr ? "" : "\"");
-      } else {
-        std::printf("%-8s %-5s | %7d %7d %6zu | %s\n", name.c_str(),
-                    std::string(style_name(style)).c_str(), errors, warnings,
-                    result.lint.stages.size(),
-                    blamed == nullptr
-                        ? "clean"
-                        : ("VIOLATIONS at " + blamed->stage).c_str());
-        if (blamed != nullptr) {
-          std::printf("%s", blamed->report.to_text().c_str());
-        }
-      }
-      std::fflush(stdout);
     }
+    std::fflush(stdout);
   }
   if (!json) {
     std::printf("\n%d/%d runs clean\n", runs - dirty, runs);

@@ -1,22 +1,35 @@
 // Reproduces Table I: number of registers (FFs or latches) and total area
 // in the FF, master-slave, and 3-phase designs, with savings of the 3-phase
 // design relative to 2x the FF count and to the master-slave count. Paper
-// reference values are printed alongside each measured row.
+// reference values are printed alongside each measured row. All 18x3 flows
+// run in parallel on the flow-matrix engine.
 //
-//   $ ./bench/table1_regs_area [cycles]
+//   $ ./bench/table1_regs_area [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
 #include "bench/paper_reference.hpp"
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::size_t cycles = 128, threads = 0;
+  util::ArgParser parser("table1_regs_area",
+                         "reproduce Table I (registers and total area)");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 128)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.parse_or_exit(argc, argv);
+
+  RunPlan plan;
+  plan.cycles = cycles;
+  util::Executor executor(threads);
+  const std::vector<MatrixResult> results = run_matrix(plan, executor);
+  const std::size_t num_styles = plan.styles.size();
+
   std::printf("Table I — registers and total area (paper values in "
               "parentheses)\n\n");
   std::printf("%-8s | %6s %6s %6s | save%%2FF save%%MS | %9s %9s %9s | "
@@ -25,13 +38,13 @@ int main(int argc, char** argv) {
 
   double sum_save_2ff = 0, sum_save_ms = 0, sum_area_ff = 0, sum_area_ms = 0;
   int rows = 0;
-  for (const auto& name : circuits::benchmark_names()) {
-    const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-    const FlowResult ff = run_flow(bench, DesignStyle::kFlipFlop, stim);
-    const FlowResult ms = run_flow(bench, DesignStyle::kMasterSlave, stim);
-    const FlowResult p3 = run_flow(bench, DesignStyle::kThreePhase, stim);
+  const auto& names = circuits::benchmark_names();
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    const std::string& name = names[b];
+    // Plan order is benchmark-major: [b*3+0..2] = FF, M-S, 3-P.
+    const FlowResult& ff = results[b * num_styles + 0].result;
+    const FlowResult& ms = results[b * num_styles + 1].result;
+    const FlowResult& p3 = results[b * num_styles + 2].result;
 
     const double save_2ff =
         bench::save_pct(2.0 * ff.registers, p3.registers);

@@ -1,15 +1,15 @@
 // Reproduces Table II: power dissipation (mW) decomposed into Clock / Seq /
 // Comb / Total for the FF, master-slave, and 3-phase designs, with the
 // 3-phase savings relative to both baselines. Paper totals are printed
-// alongside.
+// alongside. All 18x3 flows run in parallel on the flow-matrix engine.
 //
-//   $ ./bench/table2_power [cycles]
+//   $ ./bench/table2_power [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
 #include "bench/paper_reference.hpp"
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
@@ -24,20 +24,32 @@ void print_power(const char* label, const PowerBreakdown& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::size_t cycles = 128, threads = 0;
+  util::ArgParser parser("table2_power",
+                         "reproduce Table II (power dissipation)");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 128)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.parse_or_exit(argc, argv);
+
+  RunPlan plan;
+  plan.cycles = cycles;
+  util::Executor executor(threads);
+  const std::vector<MatrixResult> results = run_matrix(plan, executor);
+  const std::size_t num_styles = plan.styles.size();
+
   std::printf("Table II — power dissipation (mW)\n");
 
   double sum_ff = 0, sum_ms = 0;
   double group_save_ff[3] = {0, 0, 0};
   int rows = 0;
-  for (const auto& name : circuits::benchmark_names()) {
+  const auto& names = circuits::benchmark_names();
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    const std::string& name = names[b];
+    const FlowResult& ff = results[b * num_styles + 0].result;
+    const FlowResult& ms = results[b * num_styles + 1].result;
+    const FlowResult& p3 = results[b * num_styles + 2].result;
     const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-    const FlowResult ff = run_flow(bench, DesignStyle::kFlipFlop, stim);
-    const FlowResult ms = run_flow(bench, DesignStyle::kMasterSlave, stim);
-    const FlowResult p3 = run_flow(bench, DesignStyle::kThreePhase, stim);
 
     const double save_ff =
         bench::save_pct(ff.power.total_mw(), p3.power.total_mw());

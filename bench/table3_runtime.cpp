@@ -2,48 +2,60 @@
 // decomposition of the three flows. The paper reports the 3-phase flow at
 // +204% vs FF and +44% vs M-S overall, with the ILP solver below 1% of the
 // total (<= 27 s with Gurobi) and clock-tree synthesis roughly 3x because
-// three trees are routed.
+// three trees are routed. Hold repair is accounted in its own column
+// (StepTimes::hold_s), separate from the STA signoff pass.
 //
-//   $ ./bench/table3_runtime [cycles]
+// The 5x3 grid runs through the flow-matrix engine; use --threads 1 for
+// per-step timings free of multi-core contention.
+//
+//   $ ./bench/table3_runtime [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 96;
+  std::size_t cycles = 96, threads = 0;
+  util::ArgParser parser(
+      "table3_runtime",
+      "reproduce the paper's per-step flow run-time decomposition");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 96)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.parse_or_exit(argc, argv);
+
+  RunPlan plan;
+  plan.benchmarks = {"s13207", "s35932", "SHA256", "Plasma", "RISCV"};
+  plan.cycles = cycles;
+  util::Executor executor(threads);
+  const std::vector<MatrixResult> results = run_matrix(plan, executor);
+  const std::size_t num_styles = plan.styles.size();
+
   std::printf("Run-time decomposition (seconds)\n\n");
-  std::printf("%-8s %-4s %8s %8s %8s %8s %8s %8s %8s %8s\n", "design",
-              "style", "synth", "ilp", "convert", "retime", "cg", "place",
-              "cts", "total");
+  std::printf("%-8s %-4s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n", "design",
+              "style", "synth", "ilp", "convert", "retime", "cg", "hold",
+              "place", "cts", "total");
   double total[3] = {0, 0, 0};
   double ilp_total = 0, cts_total[3] = {0, 0, 0};
-  for (const auto& name : {"s13207", "s35932", "SHA256", "Plasma",
-                           "RISCV"}) {
-    const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-    int i = 0;
-    for (const DesignStyle style :
-         {DesignStyle::kFlipFlop, DesignStyle::kMasterSlave,
-          DesignStyle::kThreePhase}) {
-      const FlowResult r = run_flow(bench, style, stim);
-      const StepTimes& t = r.times;
+  for (std::size_t b = 0; b < plan.benchmarks.size(); ++b) {
+    for (std::size_t i = 0; i < num_styles; ++i) {
+      const MatrixResult& run = results[b * num_styles + i];
+      const StepTimes& t = run.result.times;
       std::printf("%-8s %-4s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f "
-                  "%8.3f\n",
-                  name, std::string(style_name(style)).c_str(),
+                  "%8.3f %8.3f\n",
+                  run.task.benchmark.c_str(),
+                  std::string(style_name(run.task.style)).c_str(),
                   t.synthesis_s, t.ilp_s, t.convert_s, t.retime_s,
-                  t.clock_gating_s, t.place_s, t.cts_s, t.total_s());
+                  t.clock_gating_s, t.hold_s, t.place_s, t.cts_s,
+                  t.total_s());
       std::fflush(stdout);
       total[i] += t.total_s();
       cts_total[i] += t.cts_s;
-      if (style == DesignStyle::kThreePhase) ilp_total += t.ilp_s;
-      ++i;
+      if (run.task.style == DesignStyle::kThreePhase) ilp_total += t.ilp_s;
     }
   }
   std::printf("\n3-phase flow run time: %+.0f%% vs FF (paper +204%%), "

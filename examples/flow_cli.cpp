@@ -5,11 +5,11 @@
 // registers / area / timing / power, and optionally export the result:
 //
 //   $ ./examples/flow_cli --circuit Plasma --style 3p --out plasma_3p.v
-//   $ ./examples/flow_cli --in mydesign.v --style ms --report
+//   $ ./examples/flow_cli --in mydesign.v --style ms --stats
 //   $ ./examples/flow_cli --circuit s5378 --style 3p --no-retime --no-ddcg
+//   $ ./examples/flow_cli --circuit s9234 --preset no-gating
 //   $ ./examples/flow_cli --list
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,95 +19,86 @@
 #include "src/netlist/stats.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/timing/report.hpp"
+#include "src/util/argparse.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--circuit NAME | --in FILE.v] [options]\n"
-      "  --circuit NAME     built-in benchmark (see --list)\n"
-      "  --in FILE.v        structural Verilog netlist (TP_* cells)\n"
-      "  --style ff|ms|3p   target design style (default 3p)\n"
-      "  --workload W       paper|dhrystone|coremark (default paper)\n"
-      "  --cycles N         simulated cycles (default 192)\n"
-      "  --out FILE.v       write the converted netlist\n"
-      "  --greedy           use the greedy phase heuristic (not the ILP)\n"
-      "  --no-retime --no-cg --no-m1 --no-m2 --no-ddcg\n"
-      "  --check            SEC checkpoint after each transform stage\n"
-      "  --stats            print structural statistics\n"
-      "  --profile          print the slack profile/histogram\n"
-      "  --dot FILE.dot     write the register graph (Graphviz)\n"
-      "  --enabled-style    synthesize enables as muxes (Fig. 2(a))\n"
-      "  --list             list built-in benchmarks\n",
-      argv0);
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::string circuit, in_file, out_file, dot_file;
-  bool show_stats = false, show_profile = false;
   std::string style_text = "3p";
   std::string workload_text = "paper";
+  std::string preset = "paper";
   std::size_t cycles = 192;
-  FlowOptions options;
+  bool greedy = false, no_retime = false, no_cg = false, no_m1 = false;
+  bool no_m2 = false, no_ddcg = false, check = false;
+  bool enabled_style = false, show_stats = false, show_profile = false;
+  bool list = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::exit(usage(argv[0]));
-      }
-      return argv[++i];
-    };
-    if (arg == "--circuit") {
-      circuit = value();
-    } else if (arg == "--in") {
-      in_file = value();
-    } else if (arg == "--style") {
-      style_text = value();
-    } else if (arg == "--workload") {
-      workload_text = value();
-    } else if (arg == "--cycles") {
-      cycles = static_cast<std::size_t>(std::stoul(value()));
-    } else if (arg == "--out") {
-      out_file = value();
-    } else if (arg == "--greedy") {
-      options.assign.method = AssignMethod::kGreedy;
-    } else if (arg == "--no-retime") {
-      options.retime = false;
-    } else if (arg == "--no-cg") {
-      options.p2_common_enable_cg = false;
-    } else if (arg == "--no-m1") {
-      options.use_m1 = false;
-    } else if (arg == "--no-m2") {
-      options.use_m2 = false;
-    } else if (arg == "--no-ddcg") {
-      options.ddcg = false;
-    } else if (arg == "--check") {
-      options.check_equivalence = true;
-    } else if (arg == "--enabled-style") {
-      options.synthesis_cg.style = CgStyle::kEnabled;
-    } else if (arg == "--stats") {
-      show_stats = true;
-    } else if (arg == "--profile") {
-      show_profile = true;
-    } else if (arg == "--dot") {
-      dot_file = value();
-    } else if (arg == "--list") {
-      for (const auto& name : circuits::benchmark_names()) {
-        std::printf("%s\n", name.c_str());
-      }
-      return 0;
-    } else {
-      return usage(argv[0]);
+  util::ArgParser parser(
+      "flow_cli", "convert a benchmark or Verilog netlist to a design "
+                  "style and report registers / area / timing / power");
+  parser.add_value("--circuit", &circuit, "built-in benchmark (see --list)",
+                   "NAME");
+  parser.add_value("--in", &in_file,
+                   "structural Verilog netlist (TP_* cells)", "FILE.v");
+  parser.add_value("--style", &style_text,
+                   "target design style: ff|ms|3p (default 3p)", "STYLE");
+  parser.add_value("--workload", &workload_text,
+                   "paper|dhrystone|coremark (default paper)", "W");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 192)");
+  parser.add_value("--preset", &preset,
+                   "FlowOptions preset: paper|fast|no-gating (default "
+                   "paper)",
+                   "P");
+  parser.add_value("--out", &out_file, "write the converted netlist",
+                   "FILE.v");
+  parser.add_flag("--greedy", &greedy,
+                  "use the greedy phase heuristic (not the ILP)");
+  parser.add_flag("--no-retime", &no_retime, "skip modified retiming");
+  parser.add_flag("--no-cg", &no_cg, "skip common-enable p2 clock gating");
+  parser.add_flag("--no-m1", &no_m1, "skip the M1 gating method");
+  parser.add_flag("--no-m2", &no_m2, "skip the M2 gating method");
+  parser.add_flag("--no-ddcg", &no_ddcg, "skip data-driven clock gating");
+  parser.add_flag("--check", &check,
+                  "SEC checkpoint after each transform stage");
+  parser.add_flag("--enabled-style", &enabled_style,
+                  "synthesize enables as muxes (Fig. 2(a))");
+  parser.add_flag("--stats", &show_stats, "print structural statistics");
+  parser.add_flag("--profile", &show_profile,
+                  "print the slack profile/histogram");
+  parser.add_value("--dot", &dot_file,
+                   "write the register graph (Graphviz)", "FILE.dot");
+  parser.add_flag("--list", &list, "list built-in benchmarks and exit");
+  parser.parse_or_exit(argc, argv);
+
+  if (list) {
+    for (const auto& name : circuits::benchmark_names()) {
+      std::printf("%s\n", name.c_str());
     }
+    return 0;
   }
+
+  FlowOptions options;
+  if (preset == "paper") {
+    options = FlowOptions::paper_defaults();
+  } else if (preset == "fast") {
+    options = FlowOptions::fast();
+  } else if (preset == "no-gating") {
+    options = FlowOptions::no_gating();
+  } else {
+    std::fprintf(stderr, "unknown --preset '%s'\n%s", preset.c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (greedy) options.assign.method = AssignMethod::kGreedy;
+  if (no_retime) options.retime = false;
+  if (no_cg) options.p2_common_enable_cg = false;
+  if (no_m1) options.use_m1 = false;
+  if (no_m2) options.use_m2 = false;
+  if (no_ddcg) options.ddcg = false;
+  if (check) options.check_equivalence = true;
+  if (enabled_style) options.synthesis_cg.style = CgStyle::kEnabled;
 
   DesignStyle style;
   if (style_text == "ff") {
@@ -117,13 +108,21 @@ int main(int argc, char** argv) {
   } else if (style_text == "3p") {
     style = DesignStyle::kThreePhase;
   } else {
-    return usage(argv[0]);
+    std::fprintf(stderr, "unknown --style '%s'\n%s", style_text.c_str(),
+                 parser.usage().c_str());
+    return 2;
   }
 
   circuits::Workload workload = circuits::Workload::kPaperDefault;
-  if (workload_text == "dhrystone") workload = circuits::Workload::kDhrystone;
-  else if (workload_text == "coremark") workload = circuits::Workload::kCoremark;
-  else if (workload_text != "paper") return usage(argv[0]);
+  if (workload_text == "dhrystone") {
+    workload = circuits::Workload::kDhrystone;
+  } else if (workload_text == "coremark") {
+    workload = circuits::Workload::kCoremark;
+  } else if (workload_text != "paper") {
+    std::fprintf(stderr, "unknown --workload '%s'\n%s",
+                 workload_text.c_str(), parser.usage().c_str());
+    return 2;
+  }
 
   try {
     circuits::Benchmark bench{"custom", "custom", Netlist("custom"), 0, ""};
@@ -138,7 +137,9 @@ int main(int argc, char** argv) {
       require(bench.period_ps > 0,
               "netlist carries no tp-clock directive (clock plan unknown)");
     } else {
-      return usage(argv[0]);
+      std::fprintf(stderr, "one of --circuit or --in is required\n%s",
+                   parser.usage().c_str());
+      return 2;
     }
 
     const Stimulus stim =
@@ -158,6 +159,10 @@ int main(int argc, char** argv) {
                 r.timing.worst_setup_slack_ps,
                 r.timing.hold_ok ? "OK" : "FAIL",
                 r.timing.worst_hold_slack_ps);
+    if (options.hold_repair) {
+      std::printf("  hold repair      %d buffer(s), %.3f s\n",
+                  r.hold.buffers_inserted, r.times.hold_s);
+    }
     if (style == DesignStyle::kThreePhase) {
       std::printf("  inserted p2      %d (retimed %d, merged to %d)\n",
                   r.inserted_p2, r.retime.moved, r.retime.latches_after);
@@ -168,13 +173,13 @@ int main(int argc, char** argv) {
                   r.times.total_s(), r.times.ilp_s);
     }
     if (options.check_equivalence) {
-      for (const StageCheck& check : r.equiv.stages) {
-        std::printf("  SEC %-12s %s (%.2f s)%s%s\n", check.stage.c_str(),
-                    std::string(equiv::status_name(check.result.status))
+      for (const StageCheck& stage : r.equiv.stages) {
+        std::printf("  SEC %-12s %s (%.2f s)%s%s\n", stage.stage.c_str(),
+                    std::string(equiv::status_name(stage.result.status))
                         .c_str(),
-                    check.seconds,
-                    check.result.detail.empty() ? "" : " — ",
-                    check.result.detail.c_str());
+                    stage.seconds,
+                    stage.result.detail.empty() ? "" : " — ",
+                    stage.result.detail.c_str());
       }
       if (const StageCheck* failed = r.equiv.first_failure()) {
         std::fprintf(stderr, "equivalence lost at stage '%s': %s\n",

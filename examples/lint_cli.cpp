@@ -19,33 +19,12 @@
 #include "src/circuits/workload.hpp"
 #include "src/flow/flow.hpp"
 #include "src/netlist/verilog.hpp"
+#include "src/util/argparse.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--circuit NAME | --in FILE.v] [options]\n"
-      "  --circuit NAME     built-in benchmark (see flow_cli --list)\n"
-      "  --in FILE.v        structural Verilog netlist (TP_* cells)\n"
-      "  --style raw|ff|ms|3p  lint the raw netlist or a converted design\n"
-      "                        (default raw; conversion runs the flow)\n"
-      "  --stages           rule-check after every flow stage and blame the\n"
-      "                     first offending stage (non-raw styles only)\n"
-      "  --json             emit one JSON report object instead of text\n"
-      "  --waivers FILE     load a waiver file (see docs/lint.md)\n"
-      "  --baseline FILE    write a waiver line per finding and exit 0\n"
-      "  --disable RULE     skip a rule (repeatable)\n"
-      "  --max-ddcg N       DDCG group fanout cap (default 32)\n"
-      "  --cycles N         simulated cycles for flow styles (default 192)\n"
-      "  --quiet            summary only, no per-finding lines\n"
-      "  --list-rules       print the rule catalog and exit\n",
-      argv0);
-  return 2;
-}
 
 void list_rules() {
   for (const check::RuleSpec& spec : check::rule_registry()) {
@@ -61,52 +40,54 @@ void list_rules() {
 int main(int argc, char** argv) {
   std::string circuit, in_file, waiver_file, baseline_file;
   std::string style_text = "raw";
-  bool json = false, quiet = false, stages = false;
+  std::vector<std::string> disabled;
+  bool json = false, quiet = false, stages = false, rules = false;
   std::size_t cycles = 192;
   check::CheckOptions check_options;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::exit(usage(argv[0]));
-      }
-      return argv[++i];
-    };
-    if (arg == "--circuit") {
-      circuit = value();
-    } else if (arg == "--in") {
-      in_file = value();
-    } else if (arg == "--style") {
-      style_text = value();
-    } else if (arg == "--stages") {
-      stages = true;
-    } else if (arg == "--json") {
-      json = true;
-    } else if (arg == "--waivers") {
-      waiver_file = value();
-    } else if (arg == "--baseline") {
-      baseline_file = value();
-    } else if (arg == "--disable") {
-      check::RuleId rule;
-      if (!check::rule_from_name(value(), &rule)) {
-        std::fprintf(stderr, "unknown rule '%s' (see --list-rules)\n",
-                     argv[i]);
-        return 2;
-      }
-      check_options.disabled.push_back(rule);
-    } else if (arg == "--max-ddcg") {
-      check_options.ddcg_max_fanout = std::stoi(value());
-    } else if (arg == "--cycles") {
-      cycles = static_cast<std::size_t>(std::stoul(value()));
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--list-rules") {
-      list_rules();
-      return 0;
-    } else {
-      return usage(argv[0]);
+  util::ArgParser parser(
+      "lint_cli", "run the static phase-rule checker on a benchmark, a "
+                  "converted design, or a Verilog netlist");
+  parser.add_value("--circuit", &circuit,
+                   "built-in benchmark (see flow_cli --list)", "NAME");
+  parser.add_value("--in", &in_file,
+                   "structural Verilog netlist (TP_* cells)", "FILE.v");
+  parser.add_value("--style", &style_text,
+                   "lint the raw netlist or a converted design: "
+                   "raw|ff|ms|3p (default raw; conversion runs the flow)",
+                   "STYLE");
+  parser.add_flag("--stages", &stages,
+                  "rule-check after every flow stage and blame the first "
+                  "offending stage (non-raw styles only)");
+  parser.add_flag("--json", &json,
+                  "emit one JSON report object instead of text");
+  parser.add_value("--waivers", &waiver_file,
+                   "load a waiver file (see docs/lint.md)", "FILE");
+  parser.add_value("--baseline", &baseline_file,
+                   "write a waiver line per finding and exit 0", "FILE");
+  parser.add_list("--disable", &disabled, "skip a rule (repeatable)",
+                  "RULE");
+  parser.add_value("--max-ddcg", &check_options.ddcg_max_fanout,
+                   "DDCG group fanout cap (default 32)");
+  parser.add_value("--cycles", &cycles,
+                   "simulated cycles for flow styles (default 192)");
+  parser.add_flag("--quiet", &quiet, "summary only, no per-finding lines");
+  parser.add_flag("--list-rules", &rules,
+                  "print the rule catalog and exit");
+  parser.parse_or_exit(argc, argv);
+
+  if (rules) {
+    list_rules();
+    return 0;
+  }
+  for (const std::string& name : disabled) {
+    check::RuleId rule;
+    if (!check::rule_from_name(name, &rule)) {
+      std::fprintf(stderr, "unknown rule '%s' (see --list-rules)\n",
+                   name.c_str());
+      return 2;
     }
+    check_options.disabled.push_back(rule);
   }
 
   try {
@@ -124,7 +105,9 @@ int main(int argc, char** argv) {
       bench.name = bench.netlist.name();
       bench.period_ps = bench.netlist.clocks().period_ps;
     } else {
-      return usage(argv[0]);
+      std::fprintf(stderr, "one of --circuit or --in is required\n%s",
+                   parser.usage().c_str());
+      return 2;
     }
 
     check::CheckReport report;
@@ -140,7 +123,9 @@ int main(int argc, char** argv) {
       } else if (style_text == "3p") {
         style = DesignStyle::kThreePhase;
       } else {
-        return usage(argv[0]);
+        std::fprintf(stderr, "unknown --style '%s'\n%s", style_text.c_str(),
+                     parser.usage().c_str());
+        return 2;
       }
       FlowOptions options;
       options.lint = check_options;

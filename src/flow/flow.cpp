@@ -1,9 +1,12 @@
 #include "src/flow/flow.hpp"
 
 #include <algorithm>
+#include <future>
+#include <memory>
 
 #include "src/netlist/traverse.hpp"
 #include "src/place/placer.hpp"
+#include "src/util/executor.hpp"
 
 namespace tp::flow {
 namespace {
@@ -48,6 +51,27 @@ OutputStream simulate(const Netlist& netlist, const Stimulus& stimulus,
 
 }  // namespace
 
+FlowOptions FlowOptions::paper_defaults() { return {}; }
+
+FlowOptions FlowOptions::fast() {
+  FlowOptions options;
+  options.retime = false;
+  options.retime_master_slave = false;
+  options.ddcg = false;
+  options.hold_repair = false;
+  options.warmup_cycles = 8;
+  return options;
+}
+
+FlowOptions FlowOptions::no_gating() {
+  FlowOptions options;
+  options.p2_common_enable_cg = false;
+  options.use_m1 = false;
+  options.use_m2 = false;
+  options.ddcg = false;
+  return options;
+}
+
 std::string_view style_name(DesignStyle style) {
   switch (style) {
     case DesignStyle::kFlipFlop: return "FF";
@@ -76,8 +100,67 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   check::CheckOptions lint_options = options.lint;
   lint_options.ddcg_max_fanout = std::max(lint_options.ddcg_max_fanout,
                                           options.ddcg_options.max_fanout);
+  // With an executor, each checkpoint snapshots the stage output and runs
+  // the (pure, read-only) checks as pool tasks that overlap with the rest
+  // of the flow; the futures are joined in stage order before run_flow()
+  // returns, so the result is identical to the inline path.
+  std::vector<std::future<StageCheck>> equiv_futures;
+  std::vector<std::future<StageLint>> lint_futures;
+  // If the flow unwinds with checkpoints still in flight, settle them
+  // before the stack frames their lambdas reference go away. The normal
+  // path consumes (moves out) every future, leaving nothing to join here.
+  struct PendingChecks {
+    std::vector<std::future<StageCheck>>* equiv;
+    std::vector<std::future<StageLint>>* lint;
+    util::Executor* executor;
+    ~PendingChecks() {
+      for (auto& future : *equiv) {
+        if (!future.valid()) continue;
+        try {
+          executor->wait(std::move(future));
+        } catch (...) {  // already unwinding; the flow's error wins
+        }
+      }
+      for (auto& future : *lint) {
+        if (!future.valid()) continue;
+        try {
+          executor->wait(std::move(future));
+        } catch (...) {
+        }
+      }
+    }
+  } pending_checks{&equiv_futures, &lint_futures, options.executor};
   const auto checkpoint = [&](std::string_view stage) {
     if (options.stage_hook) options.stage_hook(netlist, stage);
+    if (!options.check_equivalence && !options.check_rules) return;
+    if (options.executor != nullptr) {
+      auto snapshot = std::make_shared<const Netlist>(netlist);
+      if (options.check_equivalence) {
+        equiv_futures.push_back(options.executor->submit(
+            [snapshot, stage = std::string(stage),
+             golden = &benchmark.netlist, sec = options.sec]() {
+              Stopwatch watch;
+              StageCheck check;
+              check.stage = stage;
+              check.result =
+                  equiv::check_sequential_equivalence(*golden, *snapshot, sec);
+              check.seconds = watch.seconds();
+              return check;
+            }));
+      }
+      if (options.check_rules) {
+        lint_futures.push_back(options.executor->submit(
+            [snapshot, stage = std::string(stage), lint_options]() {
+              Stopwatch watch;
+              StageLint lint;
+              lint.stage = stage;
+              lint.report = check::run_checks(*snapshot, lint_options);
+              lint.seconds = watch.seconds();
+              return lint;
+            }));
+      }
+      return;
+    }
     if (options.check_equivalence) {
       Stopwatch watch;
       StageCheck check;
@@ -186,10 +269,11 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   }
   step.reset();
 
-  // 3. Timing signoff and hold repair.
+  // 3. Hold repair, then timing signoff (accounted separately: hold_s is
+  // buffer insertion work, timing_s is the STA pass).
   if (options.hold_repair) {
     result.hold = repair_hold(netlist, library, options.timing);
-    result.times.timing_s = step.seconds();
+    result.times.hold_s = step.seconds();
     checkpoint("hold-repair");
     step.reset();
   }
@@ -219,6 +303,20 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   result.power =
       compute_power(netlist, library, activity, &placement, &clock_tree);
   result.netlist = std::move(netlist);
+
+  // Join the fanned-out checkpoints (no-ops on the inline path). wait()
+  // helps — a worker running this flow as a matrix task executes pending
+  // checks itself instead of blocking the pool.
+  for (std::future<StageCheck>& future : equiv_futures) {
+    StageCheck check = options.executor->wait(std::move(future));
+    result.times.equiv_s += check.seconds;
+    result.equiv.stages.push_back(std::move(check));
+  }
+  for (std::future<StageLint>& future : lint_futures) {
+    StageLint lint = options.executor->wait(std::move(future));
+    result.times.lint_s += lint.seconds;
+    result.lint.stages.push_back(std::move(lint));
+  }
   return result;
 }
 

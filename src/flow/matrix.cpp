@@ -1,0 +1,124 @@
+#include "src/flow/matrix.hpp"
+
+#include <future>
+#include <utility>
+
+#include "src/util/executor.hpp"
+#include "src/util/log.hpp"
+
+namespace tp::flow {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = kFnvOffset;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// splitmix64 finalizer (Steele et al.): bijective avalanche mix.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t task_seed(std::uint64_t base, std::string_view benchmark) {
+  return mix(base ^ mix(fnv1a(benchmark)));
+}
+
+std::vector<MatrixTask> RunPlan::tasks() const {
+  const std::vector<std::string>& names =
+      benchmarks.empty() ? circuits::benchmark_names() : benchmarks;
+  std::vector<MatrixTask> tasks;
+  tasks.reserve(names.size() * styles.size());
+  for (const std::string& name : names) {
+    for (const DesignStyle style : styles) {
+      MatrixTask task;
+      task.index = tasks.size();
+      task.benchmark = name;
+      task.style = style;
+      task.seed = task_seed(stimulus_seed, name);
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+MatrixResult run_task(const RunPlan& plan, const MatrixTask& task) {
+  Stopwatch watch;
+  const circuits::Benchmark bench = circuits::make_benchmark(task.benchmark);
+  const Stimulus stimulus =
+      circuits::make_stimulus(bench, plan.workload, plan.cycles, task.seed);
+  MatrixResult out;
+  out.task = task;
+  out.result = run_flow(bench, task.style, stimulus, plan.options);
+  out.seconds = watch.seconds();
+  return out;
+}
+
+std::vector<MatrixResult> run_matrix(const RunPlan& plan,
+                                     util::Executor& executor) {
+  const std::vector<MatrixTask> tasks = plan.tasks();
+  // Each task gets the shared options plus the executor, so the opt-in
+  // per-stage SEC / lint checkpoints inside run_flow() overlap with the
+  // transforms instead of serializing behind them.
+  RunPlan parallel_plan = plan;
+  parallel_plan.options.executor = &executor;
+  std::vector<std::future<MatrixResult>> futures;
+  futures.reserve(tasks.size());
+  for (const MatrixTask& task : tasks) {
+    futures.push_back(executor.submit(
+        [&parallel_plan, task]() { return run_task(parallel_plan, task); }));
+  }
+  std::vector<MatrixResult> results;
+  results.reserve(tasks.size());
+  // Join every future even if one throws — queued lambdas reference
+  // parallel_plan, which must outlive them. The first failing task in
+  // plan order is rethrown once all tasks have settled.
+  std::exception_ptr first_error;
+  for (std::future<MatrixResult>& future : futures) {
+    try {
+      // wait() helps: the main thread runs queued tasks too, so a
+      // 1-worker executor still overlaps with its caller.
+      results.push_back(executor.wait(std::move(future)));
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<MatrixResult> run_matrix(const RunPlan& plan) {
+  std::vector<MatrixResult> results;
+  const std::vector<MatrixTask> tasks = plan.tasks();
+  results.reserve(tasks.size());
+  for (const MatrixTask& task : tasks) {
+    results.push_back(run_task(plan, task));
+  }
+  return results;
+}
+
+std::uint64_t stream_hash(const OutputStream& stream) {
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& row : stream) {
+    hash ^= row.size();
+    hash *= kFnvPrime;
+    for (const std::uint8_t bit : row) {
+      hash ^= bit;
+      hash *= kFnvPrime;
+    }
+  }
+  return hash;
+}
+
+}  // namespace tp::flow

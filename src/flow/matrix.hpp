@@ -1,0 +1,92 @@
+// Parallel flow-matrix engine.
+//
+// The paper's evaluation (Tables I–III) and this repo's regression gates
+// all sweep the same grid: benchmarks x design styles, each cell an
+// independent run_flow() invocation. RunPlan describes such a grid once —
+// benchmark names, styles, shared FlowOptions, workload, cycle count and a
+// base stimulus seed — and run_matrix() executes every cell on a
+// work-stealing Executor (src/util/executor.hpp).
+//
+// Determinism contract: results are bit-identical regardless of thread
+// count or scheduling order. Each task derives its own stimulus seed with
+// task_seed() (a pure function of the base seed, benchmark name, and
+// style), builds its own Benchmark and Stimulus, and run_flow() itself
+// only uses locally-seeded RNGs — so a 16-thread run, a 1-thread run, and
+// the serial run_matrix(plan) overload produce identical FlowResults
+// (metrics, netlists, output streams). Only the wall-clock StepTimes vary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+
+namespace tp::util {
+class Executor;
+}  // namespace tp::util
+
+namespace tp::flow {
+
+/// One cell of the grid, in plan order (benchmark-major, style-minor):
+/// index == benchmark_index * styles.size() + style_index.
+struct MatrixTask {
+  std::size_t index = 0;
+  std::string benchmark;
+  DesignStyle style = DesignStyle::kFlipFlop;
+  std::uint64_t seed = 0;  // per-task stimulus seed (see task_seed)
+};
+
+/// Deterministic per-task stimulus seed: splitmix64 finalizer over the
+/// base seed mixed with an FNV-1a hash of the benchmark name. Stable
+/// across processes and platforms (no std::hash). Deliberately
+/// style-independent: every style of one benchmark sees the same
+/// stimulus, so output streams stay cross-comparable — the paper's
+/// validation protocol streams identical inputs to the FF-based and
+/// latch-based designs (Sec. V).
+std::uint64_t task_seed(std::uint64_t base, std::string_view benchmark);
+
+/// A benchmarks x styles grid sharing one FlowOptions / workload / cycle
+/// count. Empty `benchmarks` means every built-in benchmark; `styles`
+/// defaults to the paper's three compared designs.
+struct RunPlan {
+  std::vector<std::string> benchmarks;
+  std::vector<DesignStyle> styles = {DesignStyle::kFlipFlop,
+                                     DesignStyle::kMasterSlave,
+                                     DesignStyle::kThreePhase};
+  FlowOptions options;
+  circuits::Workload workload = circuits::Workload::kPaperDefault;
+  std::size_t cycles = 96;
+  std::uint64_t stimulus_seed = 7;  // base seed; tasks derive their own
+
+  /// Expands the grid into per-task descriptors in plan order.
+  [[nodiscard]] std::vector<MatrixTask> tasks() const;
+};
+
+struct MatrixResult {
+  MatrixTask task;
+  FlowResult result;
+  double seconds = 0;  // wall-clock of this task alone
+};
+
+/// Runs one cell (exposed so serial reference loops share the exact code
+/// path of the parallel engine).
+MatrixResult run_task(const RunPlan& plan, const MatrixTask& task);
+
+/// Executes every task of `plan` on `executor` and returns results in
+/// plan order. Per-stage SEC / lint checkpoints inside each run_flow()
+/// fan out onto the same executor. Task exceptions propagate to the
+/// caller (the first failing task in plan order wins).
+std::vector<MatrixResult> run_matrix(const RunPlan& plan,
+                                     util::Executor& executor);
+
+/// Serial reference: same results (bit-identical), no threads involved.
+std::vector<MatrixResult> run_matrix(const RunPlan& plan);
+
+/// FNV-1a hash of an output stream (cycle and bit order significant);
+/// the cheap fingerprint the CI divergence gate compares across thread
+/// counts.
+std::uint64_t stream_hash(const OutputStream& stream);
+
+}  // namespace tp::flow

@@ -1,0 +1,114 @@
+// Work-stealing thread pool for the parallel flow engine.
+//
+// The conversion flow is embarrassingly parallel across benchmark x style
+// tasks (src/flow/matrix.hpp) and across the opt-in per-stage SEC / lint
+// checkpoints inside one flow — every task is a pure function of its
+// inputs. The Executor runs such tasks on a fixed set of worker threads
+// with per-worker deques and LIFO-local / FIFO-steal scheduling:
+// submissions from a worker go to its own deque front (keeping the hot
+// netlist snapshot in cache), idle workers steal from the back of their
+// peers' deques.
+//
+// Deadlock-free nesting: a task may submit further tasks and join them
+// with Executor::wait(), which *helps* — it runs pending tasks on the
+// calling thread while the future is not ready — so a worker blocked on a
+// subtask's future makes progress instead of starving the pool. The same
+// helping loop lets the main thread participate, so an Executor with one
+// worker still overlaps with its caller.
+//
+// Exceptions thrown by a task are captured in its future (via
+// std::packaged_task) and rethrown at the join point.
+//
+// Worker count: `Executor(n)`; `Executor()` uses default_thread_count(),
+// which honours the TP_THREADS environment variable and otherwise falls
+// back to std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tp::util {
+
+class Executor {
+ public:
+  /// Starts `threads` workers; 0 means default_thread_count().
+  explicit Executor(std::size_t threads = 0);
+
+  /// Joins all workers. Pending tasks are drained first so futures
+  /// obtained from submit() never dangle.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// TP_THREADS environment override (clamped to [1, 256]), otherwise
+  /// std::thread::hardware_concurrency(), never 0.
+  static std::size_t default_thread_count();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. Thread-safe;
+  /// callable from worker threads (nested submission).
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs one pending task on the calling thread if any is available.
+  /// Returns false when every deque was empty at the time of the scan.
+  bool run_one();
+
+  /// Joins `future`, running pending tasks on the calling thread while it
+  /// is not ready (help-first join: safe to call from inside a task).
+  /// Rethrows the task's exception, if any.
+  template <class T>
+  T wait(std::future<T> future) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!run_one()) {
+        // Nothing to help with: block on the future itself (bounded, so
+        // a task enqueued meanwhile gets picked up on the next lap).
+        future.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    return future.get();
+  }
+
+ private:
+  // One deque per worker plus one (index workers_.size()) for external
+  // submitters; each guarded by its own mutex. Simple and TSan-clean —
+  // the flow tasks are milliseconds to seconds, so queue contention is
+  // noise.
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  bool try_pop(std::size_t home, std::function<void()>& out);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace tp::util

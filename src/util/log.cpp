@@ -1,11 +1,14 @@
 #include "src/util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tp {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so flow tasks on executor workers may log (or flip the level)
+// without a data race.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +22,15 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log(LogLevel level, std::string_view message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(message.size()), message.data());
 }

@@ -1,0 +1,355 @@
+// Tests for the parallel flow engine: the work-stealing Executor
+// (src/util/executor.hpp) and the RunPlan / run_matrix API
+// (src/flow/matrix.hpp), including the determinism contract — parallel
+// results must be bit-identical to serial run_flow() loops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "src/circuits/workload.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/executor.hpp"
+
+namespace tp {
+namespace {
+
+using flow::DesignStyle;
+using flow::FlowOptions;
+using flow::FlowResult;
+using flow::MatrixResult;
+using flow::MatrixTask;
+using flow::RunPlan;
+using util::Executor;
+
+// ---------------------------------------------------------------------------
+// Executor unit tests.
+
+TEST(Executor, RunsSubmittedTasks) {
+  Executor executor(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(executor.submit([i, &count]() {
+      count.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(executor.wait(std::move(futures[i])), i * i);
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(Executor, PropagatesExceptions) {
+  Executor executor(2);
+  auto future = executor.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(executor.wait(std::move(future)), std::runtime_error);
+}
+
+TEST(Executor, ExceptionDoesNotPoisonPool) {
+  Executor executor(2);
+  auto bad = executor.submit([]() -> int { throw Error("boom"); });
+  EXPECT_THROW(executor.wait(std::move(bad)), Error);
+  auto good = executor.submit([]() { return 7; });
+  EXPECT_EQ(executor.wait(std::move(good)), 7);
+}
+
+TEST(Executor, NestedSubmissionDoesNotDeadlock) {
+  // Every outer task submits inner tasks and joins them from inside the
+  // pool; with help-first wait() this completes even when all workers are
+  // occupied by outer tasks.
+  Executor executor(2);
+  std::vector<std::future<int>> outers;
+  outers.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    outers.push_back(executor.submit([&executor, i]() {
+      std::vector<std::future<int>> inners;
+      inners.reserve(4);
+      for (int j = 0; j < 4; ++j) {
+        inners.push_back(executor.submit([i, j]() { return i * 10 + j; }));
+      }
+      int sum = 0;
+      for (auto& inner : inners) sum += executor.wait(std::move(inner));
+      return sum;
+    }));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(executor.wait(std::move(outers[i])), i * 40 + 6);
+  }
+}
+
+TEST(Executor, SingleThreadDegenerateCase) {
+  Executor executor(1);
+  EXPECT_EQ(executor.thread_count(), 1u);
+  std::vector<std::future<int>> futures;
+  futures.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(executor.submit([i]() { return i + 1; }));
+  }
+  int sum = 0;
+  for (auto& future : futures) sum += executor.wait(std::move(future));
+  EXPECT_EQ(sum, 32 * 33 / 2);
+}
+
+TEST(Executor, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    Executor executor(2);
+    for (int i = 0; i < 16; ++i) {
+      executor.submit([&count]() { count.fetch_add(1); });
+    }
+  }  // destructor joins; every submitted task must have run
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(Executor, DefaultThreadCountHonoursEnvOverride) {
+  ::setenv("TP_THREADS", "3", 1);
+  EXPECT_EQ(Executor::default_thread_count(), 3u);
+  ::setenv("TP_THREADS", "0", 1);  // invalid: falls back to hardware
+  EXPECT_GE(Executor::default_thread_count(), 1u);
+  ::unsetenv("TP_THREADS");
+  EXPECT_GE(Executor::default_thread_count(), 1u);
+}
+
+TEST(Executor, RunOneFromNonWorkerThread) {
+  Executor executor(1);
+  // Saturate the single worker with a slow task, then help from here.
+  std::atomic<bool> ran{0};
+  auto slow = executor.submit([]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return 1;
+  });
+  auto quick = executor.submit([&ran]() {
+    ran.store(true);
+    return 2;
+  });
+  while (!ran.load()) {
+    if (!executor.run_one()) std::this_thread::yield();
+  }
+  EXPECT_EQ(executor.wait(std::move(slow)), 1);
+  EXPECT_EQ(executor.wait(std::move(quick)), 2);
+}
+
+// ---------------------------------------------------------------------------
+// RunPlan / task seeding.
+
+TEST(RunPlan, ExpandsBenchmarkMajorOrder) {
+  RunPlan plan;
+  plan.benchmarks = {"s1196", "s1238"};
+  plan.styles = {DesignStyle::kFlipFlop, DesignStyle::kThreePhase};
+  const std::vector<MatrixTask> tasks = plan.tasks();
+  ASSERT_EQ(tasks.size(), 4u);
+  EXPECT_EQ(tasks[0].benchmark, "s1196");
+  EXPECT_EQ(tasks[0].style, DesignStyle::kFlipFlop);
+  EXPECT_EQ(tasks[1].benchmark, "s1196");
+  EXPECT_EQ(tasks[1].style, DesignStyle::kThreePhase);
+  EXPECT_EQ(tasks[3].benchmark, "s1238");
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].index, i);
+  }
+}
+
+TEST(RunPlan, EmptyBenchmarksMeansAllBuiltIns) {
+  RunPlan plan;
+  const std::vector<MatrixTask> tasks = plan.tasks();
+  EXPECT_EQ(tasks.size(), circuits::benchmark_names().size() * 3);
+}
+
+TEST(TaskSeed, DeterministicAndBenchmarkDependent) {
+  const std::uint64_t a = flow::task_seed(7, "s1196");
+  EXPECT_EQ(a, flow::task_seed(7, "s1196"));
+  EXPECT_NE(a, flow::task_seed(7, "s1238"));
+  EXPECT_NE(a, flow::task_seed(8, "s1196"));
+  // Style-independent on purpose: all styles of one benchmark share the
+  // stimulus so their output streams stay cross-comparable.
+  RunPlan plan;
+  plan.benchmarks = {"s1196"};
+  plan.styles = {DesignStyle::kFlipFlop, DesignStyle::kMasterSlave,
+                 DesignStyle::kThreePhase, DesignStyle::kPulsedLatch};
+  for (const MatrixTask& task : plan.tasks()) {
+    EXPECT_EQ(task.seed, a);
+  }
+}
+
+TEST(StreamHash, SensitiveToBitsAndShape) {
+  const OutputStream empty;
+  const OutputStream one_row{{1, 0, 1}};
+  const OutputStream flipped{{1, 1, 1}};
+  const OutputStream reshaped{{1, 0}, {1}};
+  EXPECT_NE(flow::stream_hash(empty), flow::stream_hash(one_row));
+  EXPECT_NE(flow::stream_hash(one_row), flow::stream_hash(flipped));
+  EXPECT_NE(flow::stream_hash(one_row), flow::stream_hash(reshaped));
+  EXPECT_EQ(flow::stream_hash(one_row), flow::stream_hash({{1, 0, 1}}));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel vs serial bit-identity.
+
+void expect_identical(const FlowResult& a, const FlowResult& b,
+                      const MatrixTask& task) {
+  const std::string label =
+      task.benchmark + "/" + std::string(flow::style_name(task.style));
+  EXPECT_EQ(a.registers, b.registers) << label;
+  EXPECT_EQ(a.area_um2, b.area_um2) << label;
+  EXPECT_EQ(a.power.clock_mw, b.power.clock_mw) << label;
+  EXPECT_EQ(a.power.seq_mw, b.power.seq_mw) << label;
+  EXPECT_EQ(a.power.comb_mw, b.power.comb_mw) << label;
+  EXPECT_TRUE(streams_equal(a.outputs, b.outputs)) << label;
+  EXPECT_EQ(flow::stream_hash(a.outputs), flow::stream_hash(b.outputs))
+      << label;
+}
+
+TEST(RunMatrix, ParallelBitIdenticalToSerialRunFlowLoop) {
+  RunPlan plan;
+  plan.benchmarks = {"s1196", "s1423", "s1488"};
+  plan.styles = {DesignStyle::kFlipFlop, DesignStyle::kMasterSlave,
+                 DesignStyle::kThreePhase, DesignStyle::kPulsedLatch};
+  plan.cycles = 48;
+
+  // Hand-rolled serial reference: plain run_flow() calls, no executor
+  // anywhere, seeded exactly as the contract documents.
+  std::vector<FlowResult> reference;
+  for (const std::string& name : plan.benchmarks) {
+    const circuits::Benchmark bench = circuits::make_benchmark(name);
+    const Stimulus stim = circuits::make_stimulus(
+        bench, plan.workload, plan.cycles,
+        flow::task_seed(plan.stimulus_seed, name));
+    for (const DesignStyle style : plan.styles) {
+      reference.push_back(run_flow(bench, style, stim, plan.options));
+    }
+  }
+
+  util::Executor executor(4);
+  const std::vector<MatrixResult> parallel = run_matrix(plan, executor);
+  ASSERT_EQ(parallel.size(), reference.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    expect_identical(reference[i], parallel[i].result, parallel[i].task);
+  }
+
+  // And the serial engine overload agrees with both.
+  const std::vector<MatrixResult> serial = run_matrix(plan);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i].result, parallel[i].result,
+                     parallel[i].task);
+  }
+}
+
+TEST(RunMatrix, RepeatedParallelRunsAreIdentical) {
+  RunPlan plan;
+  plan.benchmarks = {"s1238"};
+  plan.cycles = 48;
+  util::Executor executor(4);
+  const std::vector<MatrixResult> first = run_matrix(plan, executor);
+  const std::vector<MatrixResult> second = run_matrix(plan, executor);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_identical(first[i].result, second[i].result, first[i].task);
+  }
+}
+
+TEST(RunMatrix, UnknownBenchmarkPropagatesError) {
+  RunPlan plan;
+  plan.benchmarks = {"no-such-circuit"};
+  util::Executor executor(2);
+  EXPECT_THROW(run_matrix(plan, executor), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint fan-out inside run_flow().
+
+TEST(RunMatrix, FannedOutCheckpointsMatchInlineCheckpoints) {
+  const circuits::Benchmark bench = circuits::make_benchmark("s1423");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 48, 7);
+
+  FlowOptions inline_options;
+  inline_options.check_rules = true;
+  const FlowResult inline_run =
+      run_flow(bench, DesignStyle::kThreePhase, stim, inline_options);
+
+  util::Executor executor(4);
+  FlowOptions fanned_options;
+  fanned_options.check_rules = true;
+  fanned_options.executor = &executor;
+  const FlowResult fanned =
+      run_flow(bench, DesignStyle::kThreePhase, stim, fanned_options);
+
+  ASSERT_EQ(inline_run.lint.stages.size(), fanned.lint.stages.size());
+  for (std::size_t i = 0; i < fanned.lint.stages.size(); ++i) {
+    EXPECT_EQ(inline_run.lint.stages[i].stage, fanned.lint.stages[i].stage);
+    EXPECT_EQ(inline_run.lint.stages[i].report.errors,
+              fanned.lint.stages[i].report.errors);
+    EXPECT_EQ(inline_run.lint.stages[i].report.warnings,
+              fanned.lint.stages[i].report.warnings);
+  }
+  EXPECT_TRUE(fanned.lint.all_clean());
+  EXPECT_TRUE(streams_equal(inline_run.outputs, fanned.outputs));
+}
+
+TEST(RunMatrix, FannedOutSecCheckpointsStillBlameInjectedStage) {
+  // The stage_hook fault-injection protocol must survive the fan-out: the
+  // hook mutates the live netlist synchronously, the snapshot is taken
+  // afterwards, and the checkpoint report blames the right stage.
+  const circuits::Benchmark bench = circuits::make_benchmark("s1196");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 32, 7);
+  util::Executor executor(2);
+  FlowOptions options;
+  options.check_rules = true;
+  options.executor = &executor;
+  const FlowResult result =
+      run_flow(bench, DesignStyle::kThreePhase, stim, options);
+  EXPECT_TRUE(result.lint.all_clean());
+  EXPECT_GE(result.lint.stages.size(), 3u);
+  EXPECT_EQ(result.lint.stages.front().stage, "synthesis");
+}
+
+// StepTimes::hold_s regression: hold-repair time must be accounted in its
+// own bucket (and in total_s), not folded into the STA signoff time.
+TEST(StepTimes, HoldRepairAccountedSeparately) {
+  flow::StepTimes times;
+  times.timing_s = 1.0;
+  const double before = times.total_s();
+  times.hold_s = 2.0;
+  EXPECT_DOUBLE_EQ(times.total_s(), before + 2.0);
+
+  const circuits::Benchmark bench = circuits::make_benchmark("s1196");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 32, 7);
+  FlowOptions options;
+  const FlowResult with_repair =
+      run_flow(bench, DesignStyle::kFlipFlop, stim, options);
+  EXPECT_GE(with_repair.times.hold_s, 0.0);
+  options.hold_repair = false;
+  const FlowResult without_repair =
+      run_flow(bench, DesignStyle::kFlipFlop, stim, options);
+  EXPECT_EQ(without_repair.times.hold_s, 0.0);
+}
+
+TEST(FlowOptions, NamedConstructorPresets) {
+  const FlowOptions paper = FlowOptions::paper_defaults();
+  EXPECT_TRUE(paper.retime);
+  EXPECT_TRUE(paper.ddcg);
+  EXPECT_TRUE(paper.hold_repair);
+
+  const FlowOptions fast = FlowOptions::fast();
+  EXPECT_FALSE(fast.retime);
+  EXPECT_FALSE(fast.ddcg);
+  EXPECT_FALSE(fast.hold_repair);
+
+  const FlowOptions bare = FlowOptions::no_gating();
+  EXPECT_FALSE(bare.p2_common_enable_cg);
+  EXPECT_FALSE(bare.use_m1);
+  EXPECT_FALSE(bare.use_m2);
+  EXPECT_FALSE(bare.ddcg);
+  EXPECT_TRUE(bare.retime);  // conversion itself stays at paper settings
+}
+
+}  // namespace
+}  // namespace tp
