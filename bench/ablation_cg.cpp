@@ -1,13 +1,14 @@
 // Ablation: the clock-gating feature ladder of Sec. IV-D — no p2 gating,
 // +common-enable gating, +M1 cells, +M2 latch removal, +multi-bit DDCG —
-// measured by total and clock-network power.
+// measured by total and clock-network power. All five rungs run as one
+// task wave on the flow-matrix engine.
 //
-//   $ ./bench/ablation_cg [cycles]
+//   $ ./bench/ablation_cg [--cycles N] [--threads N] [--lanes N]
 #include <cstdio>
-#include <cstdlib>
 
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
@@ -33,25 +34,51 @@ constexpr Config kConfigs[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::size_t cycles = 128, threads = 0, lanes = 1;
+  util::ArgParser parser("ablation_cg",
+                         "clock-gating feature ladder (Sec. IV-D) measured "
+                         "by total and clock-network power");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 128)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64 (default 1)");
+  parser.parse_or_exit(argc, argv);
+  if (lanes < 1 || lanes > kMaxSimLanes) {
+    std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+
+  RunPlan base;
+  base.benchmarks = {"s35932", "SHA256", "Plasma", "ArmM0"};
+  base.styles = {DesignStyle::kThreePhase};
+  base.cycles = cycles;
+  base.lanes = lanes;
+  const std::size_t per_lane = (cycles + lanes - 1) / lanes;
+  if (per_lane <= base.options.warmup_cycles) {
+    base.options.warmup_cycles = per_lane / 2;
+  }
+  std::vector<RunPlan> plans(std::size(kConfigs), base);
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    plans[c].options.p2_common_enable_cg = kConfigs[c].common_enable;
+    plans[c].options.use_m1 = kConfigs[c].m1;
+    plans[c].options.use_m2 = kConfigs[c].m2;
+    plans[c].options.ddcg = kConfigs[c].ddcg;
+  }
+
+  util::Executor executor(threads);
+  const std::vector<std::vector<MatrixResult>> results =
+      run_matrices(plans, executor);
+
   std::printf("Clock-gating feature ladder (3-phase designs)\n");
-  for (const auto& name : {"s35932", "SHA256", "Plasma", "ArmM0"}) {
-    const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-    std::printf("\n%s:\n", name);
+  for (std::size_t b = 0; b < base.benchmarks.size(); ++b) {
+    std::printf("\n%s:\n", base.benchmarks[b].c_str());
     std::printf("  %-14s %9s %9s %8s %8s\n", "config", "clk mW", "total mW",
                 "p2gated", "ddcg");
-    for (const Config& config : kConfigs) {
-      FlowOptions options;
-      options.p2_common_enable_cg = config.common_enable;
-      options.use_m1 = config.m1;
-      options.use_m2 = config.m2;
-      options.ddcg = config.ddcg;
-      const FlowResult r =
-          run_flow(bench, DesignStyle::kThreePhase, stim, options);
-      std::printf("  %-14s %9.3f %9.3f %8d %8d\n", config.label,
+    for (std::size_t c = 0; c < plans.size(); ++c) {
+      const FlowResult& r = results[c][b].result;
+      std::printf("  %-14s %9.3f %9.3f %8d %8d\n", kConfigs[c].label,
                   r.power.clock_mw, r.power.total_mw(),
                   r.p2_gating.p2_latches_gated, r.ddcg.latches_gated);
       std::fflush(stdout);

@@ -1,36 +1,63 @@
 // Ablation: the modified retiming of Sec. IV-C on/off — latch counts (the
 // min-cut merges reconvergent p2 latches), worst setup slack (moves close
-// half-stage violations), and total power.
+// half-stage violations), and total power. Both configurations run as one
+// task wave on the flow-matrix engine.
 //
-//   $ ./bench/ablation_retime [cycles]
+//   $ ./bench/ablation_retime [--cycles N] [--threads N] [--lanes N]
 #include <cstdio>
-#include <cstdlib>
 
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::size_t cycles = 128, threads = 0, lanes = 1;
+  util::ArgParser parser("ablation_retime",
+                         "modified-retiming ablation (Sec. IV-C) on "
+                         "3-phase designs");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 128)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64 (default 1)");
+  parser.parse_or_exit(argc, argv);
+  if (lanes < 1 || lanes > kMaxSimLanes) {
+    std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+
+  RunPlan base;
+  base.benchmarks = {"s5378", "s13207", "s35932", "SHA256", "Plasma",
+                     "RISCV", "ArmM0"};
+  base.styles = {DesignStyle::kThreePhase};
+  base.cycles = cycles;
+  base.lanes = lanes;
+  const std::size_t per_lane = (cycles + lanes - 1) / lanes;
+  if (per_lane <= base.options.warmup_cycles) {
+    base.options.warmup_cycles = per_lane / 2;
+  }
+  // Plans: [0] retiming off, [1] retiming on.
+  std::vector<RunPlan> plans(2, base);
+  plans[0].options.retime = false;
+
+  util::Executor executor(threads);
+  const std::vector<std::vector<MatrixResult>> results =
+      run_matrices(plans, executor);
+
   std::printf("Modified-retiming ablation (3-phase designs)\n\n");
   std::printf("%-8s | %9s %9s %7s | %10s %10s | %9s %9s\n", "design",
               "regs off", "regs on", "moved", "slack off", "slack on",
               "mW off", "mW on");
-  for (const auto& name : {"s5378", "s13207", "s35932", "SHA256", "Plasma",
-                           "RISCV", "ArmM0"}) {
-    const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-    FlowOptions off;
-    off.retime = false;
-    const FlowResult without = run_flow(bench, DesignStyle::kThreePhase,
-                                        stim, off);
-    const FlowResult with = run_flow(bench, DesignStyle::kThreePhase, stim);
-    std::printf("%-8s | %9d %9d %7d | %9.0f %9.0f | %9.3f %9.3f\n", name,
-                without.registers, with.registers, with.retime.moved,
+  for (std::size_t b = 0; b < base.benchmarks.size(); ++b) {
+    const FlowResult& without = results[0][b].result;
+    const FlowResult& with = results[1][b].result;
+    std::printf("%-8s | %9d %9d %7d | %9.0f %9.0f | %9.3f %9.3f\n",
+                base.benchmarks[b].c_str(), without.registers,
+                with.registers, with.retime.moved,
                 without.timing.worst_setup_slack_ps,
                 with.timing.worst_setup_slack_ps,
                 without.power.total_mw(), with.power.total_mw());

@@ -10,7 +10,13 @@
 // as the ground truth for whether a mutation is observable at all (some
 // latch re-phasings are genuinely behavior-preserving).
 //
-//   $ ./bench/equiv_vs_stream [circuit] [mutations]
+// With --lanes L >= 2 each stream length also gets a bit-parallel row: L
+// independent N-cycle stimuli (lane 0 reuses the scalar row's stream) are
+// packed into one WideSimulator pass per mutant, with the golden wide
+// stream simulated once per stream length and shared across mutants. That
+// buys L streams of coverage for roughly one run's wall clock.
+//
+//   $ ./bench/equiv_vs_stream [circuit] [mutations] [--lanes L]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,9 +25,12 @@
 #include "src/circuits/benchmark.hpp"
 #include "src/equiv/cex.hpp"
 #include "src/equiv/sec.hpp"
+#include "src/flow/matrix.hpp"  // flow::lane_seed
+#include "src/sim/stimulus.hpp"
 #include "src/transform/clock_gating.hpp"
 #include "src/transform/convert.hpp"
 #include "src/transform/p2_gating.hpp"
+#include "src/util/argparse.hpp"
 #include "src/util/log.hpp"
 #include "src/util/rng.hpp"
 
@@ -90,9 +99,30 @@ std::vector<Mutation> seed_mutations(const Netlist& base, std::size_t count,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string circuit = argc > 1 ? argv[1] : "s5378";
+  std::vector<std::string> positionals;
+  std::size_t lanes = 16;
+  util::ArgParser parser(
+      "equiv_vs_stream",
+      "pit N-cycle stream comparison (scalar and bit-parallel) against "
+      "sequential equivalence checking on seeded conversion faults");
+  parser.add_positionals(&positionals, "[circuit] [mutations]",
+                         "benchmark name (default s5378) and mutation "
+                         "count (default 20)");
+  parser.add_value("--lanes", &lanes,
+                   "bit-parallel stimulus lanes for the wide rows, 1-64; "
+                   "1 disables them (default 16)");
+  parser.parse_or_exit(argc, argv);
+  if (lanes < 1 || lanes > kMaxSimLanes || positionals.size() > 2) {
+    std::fprintf(stderr,
+                 "--lanes must be in [1, 64] and at most 2 operands\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+  const std::string circuit = !positionals.empty() ? positionals[0] : "s5378";
   const std::size_t count =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 20;
+      positionals.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positionals[1].c_str()))
+          : 20;
 
   const circuits::Benchmark bench = circuits::make_benchmark(circuit);
   const Netlist& golden = bench.netlist;
@@ -147,6 +177,54 @@ int main(int argc, char** argv) {
     const double per_run = watch.seconds() / static_cast<double>(count);
     std::printf("stream-%-5zu %6zu/%-2zu %9zu %9zu %9.3f s\n", cycles,
                 detected, breaking, missed, false_positive, per_run);
+  }
+
+  // Bit-parallel stream comparison: `lanes` independent N-cycle stimuli per
+  // wide pass, lane 0 replaying the scalar row's stream. The golden wide
+  // stream is computed once per stream length and reused for every mutant,
+  // so time/run amortizes it. A lane that diverges on a mutation the
+  // 5000-cycle truth stream never exposed is a genuine divergence (the wide
+  // engine is bit-identical to the scalar one), reported like SEC's
+  // beyond-horizon finds rather than as a false positive.
+  if (lanes >= 2) {
+    for (const std::size_t cycles : kStreamLengths) {
+      std::vector<Stimulus> stims;
+      stims.reserve(lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        Rng r(flow::lane_seed(31 + cycles, l));
+        stims.push_back(random_stimulus(num_inputs, cycles, r));
+      }
+      const WideStimulus packed = pack_stimulus(stims);
+
+      std::size_t detected = 0, missed = 0, beyond = 0;
+      Stopwatch watch;
+      SimOptions golden_options;
+      golden_options.snapshot_event =
+          golden.clocks().phases.size() == 3 ? 1 : 0;
+      WideSimulator golden_sim(golden, lanes, golden_options);
+      const OutputStream a = run_wide_stream(golden_sim, packed, 0);
+      for (std::size_t k = 0; k < mutations.size(); ++k) {
+        SimOptions mutant_options;
+        mutant_options.snapshot_event =
+            mutations[k].netlist.clocks().phases.size() == 3 ? 1 : 0;
+        WideSimulator mutant_sim(mutations[k].netlist, lanes,
+                                 mutant_options);
+        const OutputStream b = run_wide_stream(mutant_sim, packed, 0);
+        const bool flagged = first_mismatch(a, b) >= 0;
+        detected += flagged && is_breaking[k];
+        missed += !flagged && is_breaking[k];
+        beyond += flagged && !is_breaking[k];
+      }
+      const double per_run = watch.seconds() / static_cast<double>(count);
+      char label[32];
+      std::snprintf(label, sizeof(label), "wide-%zux%zu", cycles, lanes);
+      std::printf("%-12s %6zu/%-2zu %9zu %9zu %9.3f s", label, detected,
+                  breaking, missed, std::size_t{0}, per_run);
+      if (beyond) {
+        std::printf("   (+%zu confirmed beyond the truth horizon)", beyond);
+      }
+      std::printf("\n");
+    }
   }
 
   // Sequential equivalence checking. A falsification on a mutant the ground

@@ -3,14 +3,15 @@
 // minimizes FFs with combinational self-loops, which directly improves the
 // phase-assignment objective. Sweeps the enable-heavy benchmarks under both
 // styles and reports self-loop counts, inserted p2 latches, and power.
+// Both style sweeps run as one task wave on the flow-matrix engine.
 //
-//   $ ./bench/fig2_cg_styles [cycles]
+//   $ ./bench/fig2_cg_styles [--cycles N] [--threads N] [--lanes N]
 #include <cstdio>
-#include <cstdlib>
 
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
 #include "src/netlist/traverse.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
@@ -29,28 +30,57 @@ int self_loops(const Netlist& netlist) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::size_t cycles = 128, threads = 0, lanes = 1;
+  util::ArgParser parser("fig2_cg_styles",
+                         "reproduce Fig. 2 (clock-gating style and its "
+                         "effect on the conversion)");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 128)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64 (default 1)");
+  parser.parse_or_exit(argc, argv);
+  if (lanes < 1 || lanes > kMaxSimLanes) {
+    std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+
+  // Enable-rich designs: CEP cores and the CPUs. One plan per synthesis
+  // clock-gating style; both submitted in one wave.
+  RunPlan base;
+  base.benchmarks = {"AES", "DES3", "SHA256", "MD5", "Plasma", "RISCV",
+                     "ArmM0"};
+  base.styles = {DesignStyle::kThreePhase};
+  base.cycles = cycles;
+  base.lanes = lanes;
+  const std::size_t per_lane = (cycles + lanes - 1) / lanes;
+  if (per_lane <= base.options.warmup_cycles) {
+    base.options.warmup_cycles = per_lane / 2;
+  }
+  const CgStyle kStyles[] = {CgStyle::kGated, CgStyle::kEnabled};
+  std::vector<RunPlan> plans(2, base);
+  plans[0].options.synthesis_cg.style = kStyles[0];
+  plans[1].options.synthesis_cg.style = kStyles[1];
+
+  util::Executor executor(threads);
+  const std::vector<std::vector<MatrixResult>> results =
+      run_matrices(plans, executor);
+
   std::printf("Fig. 2 — clock-gating style and its effect on the "
               "conversion\n\n");
   std::printf("%-8s %-8s %10s %10s %10s %10s\n", "design", "style",
               "self-loops", "insertedP2", "3P regs", "3P mW");
-  // Enable-rich designs: CEP cores and the CPUs.
-  for (const auto& name : {"AES", "DES3", "SHA256", "MD5", "Plasma",
-                           "RISCV", "ArmM0"}) {
+  for (std::size_t b = 0; b < base.benchmarks.size(); ++b) {
+    const std::string& name = base.benchmarks[b];
     const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-    for (const CgStyle style : {CgStyle::kGated, CgStyle::kEnabled}) {
-      FlowOptions options;
-      options.synthesis_cg.style = style;
-      const FlowResult r =
-          run_flow(bench, DesignStyle::kThreePhase, stim, options);
+    for (std::size_t s = 0; s < plans.size(); ++s) {
+      const FlowResult& r = results[s][b].result;
       // Count self-loops on the synthesized FF netlist the conversion saw.
       Netlist synth = bench.netlist;
-      infer_clock_gating(synth, options.synthesis_cg);
-      std::printf("%-8s %-8s %10d %10d %10d %10.3f\n", name,
-                  style == CgStyle::kGated ? "gated" : "enabled",
+      infer_clock_gating(synth, plans[s].options.synthesis_cg);
+      std::printf("%-8s %-8s %10d %10d %10d %10.3f\n", name.c_str(),
+                  kStyles[s] == CgStyle::kGated ? "gated" : "enabled",
                   self_loops(synth), r.inserted_p2, r.registers,
                   r.power.total_mw());
       std::fflush(stdout);

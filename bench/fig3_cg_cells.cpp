@@ -3,44 +3,67 @@
 // phase), and the M2 legality analysis (ICG internal latch removable only
 // when no enable path starts from a same-phase latch). Reports CG cell
 // counts, M2 legality splits, and the clock-network power with each
-// modification toggled.
+// modification toggled. The three configurations run as one task wave on
+// the flow-matrix engine.
 //
-//   $ ./bench/fig3_cg_cells [cycles]
+//   $ ./bench/fig3_cg_cells [--cycles N] [--threads N] [--lanes N]
 #include <cstdio>
-#include <cstdlib>
 
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 128;
+  std::size_t cycles = 128, threads = 0, lanes = 1;
+  util::ArgParser parser("fig3_cg_cells",
+                         "reproduce Fig. 3 (p2 clock gating and the M1/M2 "
+                         "cell modifications)");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 128)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64 (default 1)");
+  parser.parse_or_exit(argc, argv);
+  if (lanes < 1 || lanes > kMaxSimLanes) {
+    std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+
+  RunPlan base;
+  base.benchmarks = {"AES", "SHA256", "Plasma", "RISCV", "ArmM0"};
+  base.styles = {DesignStyle::kThreePhase};
+  base.cycles = cycles;
+  base.lanes = lanes;
+  const std::size_t per_lane = (cycles + lanes - 1) / lanes;
+  if (per_lane <= base.options.warmup_cycles) {
+    base.options.warmup_cycles = per_lane / 2;
+  }
+  // Plans: [0] full flow, [1] without M1, [2] without M2.
+  std::vector<RunPlan> plans(3, base);
+  plans[1].options.use_m1 = false;
+  plans[2].options.use_m2 = false;
+
+  util::Executor executor(threads);
+  const std::vector<std::vector<MatrixResult>> results =
+      run_matrices(plans, executor);
+
   std::printf("Fig. 3 — p2 clock gating and the M1/M2 cell "
               "modifications\n\n");
   std::printf("%-8s | %7s %7s | %9s %7s | %11s %11s %11s\n", "design",
               "p2 CGs", "gated", "M2 conv", "M2 kept", "clk mW full",
               "clk mW -M1", "clk mW -M2");
-  for (const auto& name : {"AES", "SHA256", "Plasma", "RISCV", "ArmM0"}) {
-    const circuits::Benchmark bench = circuits::make_benchmark(name);
-    const Stimulus stim = circuits::make_stimulus(
-        bench, circuits::Workload::kPaperDefault, cycles, 7);
-
-    const FlowResult full = run_flow(bench, DesignStyle::kThreePhase, stim);
-    FlowOptions no_m1;
-    no_m1.use_m1 = false;
-    const FlowResult without_m1 =
-        run_flow(bench, DesignStyle::kThreePhase, stim, no_m1);
-    FlowOptions no_m2;
-    no_m2.use_m2 = false;
-    const FlowResult without_m2 =
-        run_flow(bench, DesignStyle::kThreePhase, stim, no_m2);
-
-    std::printf("%-8s | %7d %7d | %9d %7d | %11.3f %11.3f %11.3f\n", name,
-                full.p2_gating.p2_cg_cells, full.p2_gating.p2_latches_gated,
-                full.m2.converted, full.m2.kept, full.power.clock_mw,
+  for (std::size_t b = 0; b < base.benchmarks.size(); ++b) {
+    const FlowResult& full = results[0][b].result;
+    const FlowResult& without_m1 = results[1][b].result;
+    const FlowResult& without_m2 = results[2][b].result;
+    std::printf("%-8s | %7d %7d | %9d %7d | %11.3f %11.3f %11.3f\n",
+                base.benchmarks[b].c_str(), full.p2_gating.p2_cg_cells,
+                full.p2_gating.p2_latches_gated, full.m2.converted,
+                full.m2.kept, full.power.clock_mw,
                 without_m1.power.clock_mw, without_m2.power.clock_mw);
     std::fflush(stdout);
   }

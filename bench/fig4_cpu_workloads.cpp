@@ -1,42 +1,71 @@
 // Reproduces Fig. 4: power decomposition of the RISC-V and ARM-M0 cores
 // running Dhrystone and Coremark in the FF, master-slave, and 3-phase
 // styles (the paper reports 15.6%/21.2% savings for RISC-V and 8.3%/20.1%
-// for ARM-M0 vs FF and M-S respectively).
+// for ARM-M0 vs FF and M-S respectively). Both workload sweeps run as one
+// task wave on the flow-matrix engine.
 //
-//   $ ./bench/fig4_cpu_workloads [cycles]
+//   $ ./bench/fig4_cpu_workloads [--cycles N] [--threads N] [--lanes N]
 #include <cstdio>
-#include <cstdlib>
 
 #include "bench/paper_reference.hpp"
-#include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 int main(int argc, char** argv) {
-  const std::size_t cycles =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 192;
+  std::size_t cycles = 192, threads = 0, lanes = 1;
+  util::ArgParser parser("fig4_cpu_workloads",
+                         "reproduce Fig. 4 (CPU power under Dhrystone and "
+                         "Coremark)");
+  parser.add_value("--cycles", &cycles, "simulated cycles (default 192)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64 (default 1)");
+  parser.parse_or_exit(argc, argv);
+  if (lanes < 1 || lanes > kMaxSimLanes) {
+    std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+
+  RunPlan base;
+  base.benchmarks = {"RISCV", "ArmM0"};
+  base.cycles = cycles;
+  base.lanes = lanes;
+  const std::size_t per_lane = (cycles + lanes - 1) / lanes;
+  if (per_lane <= base.options.warmup_cycles) {
+    base.options.warmup_cycles = per_lane / 2;
+  }
+  const circuits::Workload kWorkloads[] = {circuits::Workload::kDhrystone,
+                                           circuits::Workload::kCoremark};
+  std::vector<RunPlan> plans(2, base);
+  plans[0].workload = kWorkloads[0];
+  plans[1].workload = kWorkloads[1];
+
+  util::Executor executor(threads);
+  const std::vector<std::vector<MatrixResult>> results =
+      run_matrices(plans, executor);
+  const std::size_t num_styles = base.styles.size();
+
   std::printf("Fig. 4 — CPU power under Dhrystone and Coremark (mW)\n");
-  for (const auto& name : {"RISCV", "ArmM0"}) {
-    const circuits::Benchmark bench = circuits::make_benchmark(name);
-    for (const auto workload :
-         {circuits::Workload::kDhrystone, circuits::Workload::kCoremark}) {
-      const Stimulus stim =
-          circuits::make_stimulus(bench, workload, cycles, 7);
-      std::printf("\n%s / %s:\n", name,
-                  std::string(circuits::workload_name(workload)).c_str());
+  for (std::size_t b = 0; b < base.benchmarks.size(); ++b) {
+    for (std::size_t w = 0; w < plans.size(); ++w) {
+      std::printf("\n%s / %s:\n", base.benchmarks[b].c_str(),
+                  std::string(circuits::workload_name(kWorkloads[w]))
+                      .c_str());
       PowerBreakdown power[3];
-      int i = 0;
-      for (const DesignStyle style :
-           {DesignStyle::kFlipFlop, DesignStyle::kMasterSlave,
-            DesignStyle::kThreePhase}) {
-        const FlowResult r = run_flow(bench, style, stim);
-        power[i++] = r.power;
+      for (std::size_t i = 0; i < num_styles; ++i) {
+        const FlowResult& r = results[w][b * num_styles + i].result;
+        power[i] = r.power;
         std::printf("  %-4s clock %6.3f  seq %6.3f  comb %6.3f  total "
                     "%6.3f\n",
-                    std::string(style_name(style)).c_str(), r.power.clock_mw,
-                    r.power.seq_mw, r.power.comb_mw, r.power.total_mw());
+                    std::string(style_name(base.styles[i])).c_str(),
+                    r.power.clock_mw, r.power.seq_mw, r.power.comb_mw,
+                    r.power.total_mw());
       }
       std::printf("  3-P saves %+5.1f%% vs FF, %+5.1f%% vs M-S\n",
                   bench::save_pct(power[0].total_mw(), power[2].total_mw()),

@@ -9,9 +9,16 @@
 // and fails the build on any serial/parallel divergence; the JSON is
 // uploaded as an artifact to track the perf trajectory over time.
 //
-//   $ ./bench/matrix_throughput [--cycles N] [--threads N] [--out FILE]
+// With --lanes N >= 2 every task simulates N stimulus lanes bit-parallel
+// (RunPlan::lanes), and a third serial pass with the scalar lane-by-lane
+// engine (FlowOptions::wide_sim off) gates the wide engine's bit-identity
+// contract at the matrix level: serial-wide, serial-scalar, and parallel-
+// wide must all match bit-for-bit.
 //
-// Exit status: 0 when parallel == serial bit-for-bit, 1 otherwise.
+//   $ ./bench/matrix_throughput [--cycles N] [--threads N] [--lanes N]
+//                               [--out FILE]
+//
+// Exit status: 0 when every pass is bit-identical, 1 otherwise.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -82,7 +89,7 @@ struct StageSums {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t cycles = 48, threads = 0;
+  std::size_t cycles = 48, threads = 0, lanes = 1;
   std::string out_file = "BENCH_matrix.json";
 
   util::ArgParser parser(
@@ -93,18 +100,33 @@ int main(int argc, char** argv) {
   parser.add_value("--threads", &threads,
                    "worker threads for the parallel pass (default "
                    "TP_THREADS or hardware)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64; lanes >= 2 add a "
+                   "wide-vs-scalar-engine divergence gate (default 1)");
   parser.add_value("--out", &out_file,
                    "JSON output path (default BENCH_matrix.json)", "FILE");
   parser.parse_or_exit(argc, argv);
 
   if (threads == 0) threads = util::Executor::default_thread_count();
+  if (lanes < 1 || lanes > kMaxSimLanes) {
+    std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
 
   RunPlan plan;
   plan.cycles = cycles;
+  plan.lanes = lanes;
   plan.options.check_rules = true;
+  // The per-lane split must leave post-warmup cycles to compare.
+  const std::size_t per_lane = (cycles + lanes - 1) / lanes;
+  if (per_lane <= plan.options.warmup_cycles) {
+    plan.options.warmup_cycles = per_lane / 2;
+  }
 
-  std::printf("matrix_throughput: %zu tasks, %zu cycles, %zu thread(s)\n",
-              plan.tasks().size(), cycles, threads);
+  std::printf("matrix_throughput: %zu tasks, %zu cycles, %zu lane(s), %zu "
+              "thread(s)\n",
+              plan.tasks().size(), cycles, lanes, threads);
 
   Stopwatch wall;
   const std::vector<MatrixResult> serial = run_matrix(plan);
@@ -137,6 +159,32 @@ int main(int argc, char** argv) {
                  threads, diff.c_str());
   }
 
+  // Engine gate: with multi-lane tasks, a scalar lane-by-lane pass must
+  // reproduce the wide-simulator results bit-for-bit.
+  int engine_divergent = 0;
+  if (lanes >= 2) {
+    wall.reset();
+    RunPlan scalar_plan = plan;
+    scalar_plan.options.wide_sim = false;
+    const std::vector<MatrixResult> scalar_engine = run_matrix(scalar_plan);
+    const double scalar_engine_s = wall.seconds();
+    std::printf("  scalar    %7.2f s (scalar-engine reference, %.2fx vs "
+                "wide serial)\n",
+                scalar_engine_s,
+                serial_s > 0 ? scalar_engine_s / serial_s : 0.0);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const std::string diff = compare(scalar_engine[i], serial[i]);
+      if (diff.empty()) continue;
+      ++engine_divergent;
+      std::fprintf(stderr,
+                   "DIVERGENCE: %s/%s differs between scalar and wide "
+                   "engines (%s)\n",
+                   serial[i].task.benchmark.c_str(),
+                   std::string(style_name(serial[i].task.style)).c_str(),
+                   diff.c_str());
+    }
+  }
+
   // Histogram from the serial pass: parallel-run stage stopwatches are
   // inflated by core contention, the serial ones measure the real work.
   StageSums stages;
@@ -147,30 +195,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_file.c_str());
     return 1;
   }
-  char buffer[1024];
+  char buffer[1152];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"bench\":\"matrix_throughput\",\"tasks\":%zu,\"cycles\":%zu,"
-      "\"threads\":%zu,\"serial_s\":%.3f,\"parallel_s\":%.3f,"
+      "\"lanes\":%zu,\"threads\":%zu,\"serial_s\":%.3f,\"parallel_s\":%.3f,"
       "\"speedup\":%.3f,\"tasks_per_s\":%.3f,\"identical\":%s,"
+      "\"wide_identical\":%s,"
       "\"stage_seconds\":{\"synthesis\":%.3f,\"ilp\":%.3f,\"convert\":%.3f,"
       "\"retime\":%.3f,\"clock_gating\":%.3f,\"hold\":%.3f,\"timing\":%.3f,"
       "\"place\":%.3f,\"cts\":%.3f,\"sim\":%.3f,\"lint\":%.3f}}\n",
-      serial.size(), cycles, threads, serial_s, parallel_s, speedup,
+      serial.size(), cycles, lanes, threads, serial_s, parallel_s, speedup,
       parallel.size() / parallel_s, divergent == 0 ? "true" : "false",
-      stages.synthesis, stages.ilp, stages.convert, stages.retime,
-      stages.cg, stages.hold, stages.timing, stages.place, stages.cts,
-      stages.sim, stages.lint);
+      engine_divergent == 0 ? "true" : "false", stages.synthesis,
+      stages.ilp, stages.convert, stages.retime, stages.cg, stages.hold,
+      stages.timing, stages.place, stages.cts, stages.sim, stages.lint);
   out << buffer;
   std::printf("  wrote     %s\n", out_file.c_str());
 
-  if (divergent > 0) {
-    std::fprintf(stderr, "%d/%zu tasks diverged\n", divergent,
-                 serial.size());
+  if (divergent > 0 || engine_divergent > 0) {
+    std::fprintf(stderr, "%d/%zu tasks diverged across thread counts, "
+                 "%d/%zu across engines\n",
+                 divergent, serial.size(), engine_divergent, serial.size());
     return 1;
   }
   std::printf("  identical %zu/%zu tasks bit-identical across thread "
-              "counts\n",
-              serial.size(), serial.size());
+              "counts%s\n",
+              serial.size(), serial.size(),
+              lanes >= 2 ? " and sim engines" : "");
   return 0;
 }

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/matrix.hpp"  // lane_seed; pulls in flow.hpp
 #include "src/netlist/stats.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/timing/report.hpp"
@@ -25,11 +25,11 @@ using namespace tp;
 using namespace tp::flow;
 
 int main(int argc, char** argv) {
-  std::string circuit, in_file, out_file, dot_file;
+  std::string circuit, in_file, out_file, dot_file, vcd_file;
   std::string style_text = "3p";
   std::string workload_text = "paper";
   std::string preset = "paper";
-  std::size_t cycles = 192;
+  std::size_t cycles = 192, lanes = 1;
   bool greedy = false, no_retime = false, no_cg = false, no_m1 = false;
   bool no_m2 = false, no_ddcg = false, check = false;
   bool enabled_style = false, show_stats = false, show_profile = false;
@@ -47,6 +47,14 @@ int main(int argc, char** argv) {
   parser.add_value("--workload", &workload_text,
                    "paper|dhrystone|coremark (default paper)", "W");
   parser.add_value("--cycles", &cycles, "simulated cycles (default 192)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes, 1-64; lanes >= 2 split the cycle "
+                   "budget across a bit-parallel wide simulation "
+                   "(default 1)");
+  parser.add_value("--vcd", &vcd_file,
+                   "dump a VCD of the validation simulation (first lane; "
+                   "forces the scalar engine for that sim)",
+                   "FILE.vcd");
   parser.add_value("--preset", &preset,
                    "FlowOptions preset: paper|fast|no-gating (default "
                    "paper)",
@@ -142,9 +150,27 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const Stimulus stim =
-        circuits::make_stimulus(bench, workload, cycles, 7);
-    const FlowResult r = run_flow(bench, style, stim, options);
+    if (lanes < 1 || lanes > kMaxSimLanes) {
+      std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                   parser.usage().c_str());
+      return 2;
+    }
+    std::ofstream vcd_out;
+    if (!vcd_file.empty()) {
+      vcd_out.open(vcd_file);
+      require(vcd_out.good(), "cannot open " + vcd_file);
+      options.vcd = &vcd_out;
+    }
+    // Same split as RunPlan::lanes: the cycle budget is divided across
+    // lanes, lane 0 keeping the single-lane seed.
+    const std::size_t per_lane = (cycles + lanes - 1) / lanes;
+    std::vector<Stimulus> stims;
+    stims.reserve(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      stims.push_back(circuits::make_stimulus(bench, workload, per_lane,
+                                              lane_seed(7, l)));
+    }
+    const FlowResult r = run_flow(bench, style, stims, options);
 
     std::printf("%s -> %s\n", bench.name.c_str(),
                 std::string(style_name(style)).c_str());
@@ -206,6 +232,9 @@ int main(int argc, char** argv) {
       std::ofstream out(out_file);
       write_verilog(r.netlist, out);
       std::printf("  wrote            %s\n", out_file.c_str());
+    }
+    if (!vcd_file.empty()) {
+      std::printf("  wrote            %s\n", vcd_file.c_str());
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

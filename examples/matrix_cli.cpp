@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> circuits_arg, styles_arg;
   std::string workload_text = "paper";
   std::string preset = "paper";
-  std::size_t cycles = 96, threads = 0, seed = 7;
+  std::size_t cycles = 96, threads = 0, seed = 7, lanes = 1;
   bool check_sec = false, check_rules = false, json = false;
 
   util::ArgParser parser(
@@ -59,6 +59,10 @@ int main(int argc, char** argv) {
   parser.add_value("--cycles", &cycles, "simulated cycles (default 96)");
   parser.add_value("--seed", &seed,
                    "base stimulus seed; tasks derive their own (default 7)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64; lanes >= 2 split the "
+                   "cycle budget across a bit-parallel wide simulation "
+                   "(default 1)");
   parser.add_value("--threads", &threads,
                    "worker threads (default TP_THREADS or hardware)");
   parser.add_value("--preset", &preset,
@@ -76,6 +80,12 @@ int main(int argc, char** argv) {
   plan.benchmarks = circuits_arg;
   plan.cycles = cycles;
   plan.stimulus_seed = seed;
+  plan.lanes = lanes;
+  if (lanes < 1 || lanes > kMaxSimLanes) {
+    std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
   if (!styles_arg.empty()) {
     plan.styles.clear();
     for (const std::string& text : styles_arg) {

@@ -37,15 +37,40 @@ RetimeResult retime_with_closure(Netlist& netlist,
   return result;
 }
 
-/// Simulates the netlist under `stimulus`, returning outputs and leaving
-/// the activity in `activity_out`.
-OutputStream simulate(const Netlist& netlist, const Stimulus& stimulus,
-                      std::size_t warmup, ActivityStats* activity_out) {
+/// Simulates the netlist under every stimulus lane, returning the
+/// lane-major concatenation of the per-lane output streams and leaving
+/// the summed-over-lanes activity in `activity_out`. With `wide` and at
+/// least two lanes, all lanes run bit-parallel in one WideSimulator pass;
+/// otherwise the scalar engine runs lane-by-lane. Both paths are
+/// bit-identical (the wide engine's contract). A VCD — a per-lane concept
+/// — forces the scalar engine and records the first lane only.
+OutputStream simulate(const Netlist& netlist, std::span<const Stimulus> lanes,
+                      std::size_t warmup, bool wide, std::ostream* vcd,
+                      ActivityStats* activity_out) {
   SimOptions options;
   options.snapshot_event = netlist.clocks().phases.size() == 3 ? 1 : 0;
+  if (wide && lanes.size() >= 2 && vcd == nullptr) {
+    WideSimulator sim(netlist, lanes.size(), options);
+    OutputStream stream = run_wide_stream(sim, pack_stimulus(lanes), warmup);
+    if (activity_out) *activity_out = sim.stats();
+    return stream;
+  }
   Simulator sim(netlist, options);
-  OutputStream stream = run_stream(sim, stimulus, warmup);
-  if (activity_out) *activity_out = sim.stats();
+  OutputStream stream;
+  ActivityStats total;
+  total.net_toggles.assign(netlist.num_nets(), 0);
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    if (l == 0 && vcd != nullptr) sim.start_vcd(*vcd);
+    OutputStream s = run_stream(sim, lanes[l], warmup);
+    if (l == 0 && vcd != nullptr) sim.stop_vcd();
+    stream.insert(stream.end(), std::make_move_iterator(s.begin()),
+                  std::make_move_iterator(s.end()));
+    for (std::size_t n = 0; n < netlist.num_nets(); ++n) {
+      total.net_toggles[n] += sim.stats().net_toggles[n];
+    }
+    total.cycles += sim.stats().cycles;
+  }
+  if (activity_out) *activity_out = std::move(total);
   return stream;
 }
 
@@ -84,6 +109,15 @@ std::string_view style_name(DesignStyle style) {
 
 FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
                     const Stimulus& stimulus, const FlowOptions& options) {
+  return run_flow(benchmark, style, std::span<const Stimulus>(&stimulus, 1),
+                  options);
+}
+
+FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
+                    std::span<const Stimulus> lanes,
+                    const FlowOptions& options) {
+  require(!lanes.empty() && lanes.size() <= kMaxSimLanes,
+          "run_flow: stimulus lane count must be in [1, 64]");
   const CellLibrary& library = CellLibrary::nominal_28nm();
   FlowResult result;
   result.style = style;
@@ -258,8 +292,11 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
       if (options.ddcg) {
         // DDCG needs switching activity of this very netlist (Sec. V:
         // gate-level simulations drive the data-driven clock gating).
+        // Always eligible for the wide engine — the VCD option applies to
+        // the final validation simulation only.
         ActivityStats activity;
-        simulate(netlist, stimulus, options.warmup_cycles, &activity);
+        simulate(netlist, lanes, options.warmup_cycles, options.wide_sim,
+                 nullptr, &activity);
         result.ddcg = apply_ddcg(netlist, activity, options.ddcg_options);
         result.times.clock_gating_s += step.seconds();
         checkpoint("ddcg");
@@ -292,8 +329,8 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
 
   // 5. Gate-level simulation: validation stream + power activity.
   ActivityStats activity;
-  result.outputs =
-      simulate(netlist, stimulus, options.warmup_cycles, &activity);
+  result.outputs = simulate(netlist, lanes, options.warmup_cycles,
+                            options.wide_sim, options.vcd, &activity);
   result.times.sim_s = step.seconds();
 
   // 6. Metrics.

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
+#include <span>
 #include <string>
 
 #include "src/check/checker.hpp"
@@ -58,6 +60,18 @@ struct FlowOptions {
   PlaceOptions place;
   CtsOptions cts;
   std::size_t warmup_cycles = 16;
+
+  /// Simulate with the bit-parallel WideSimulator (src/sim/wide_sim.hpp)
+  /// whenever more than one stimulus lane is supplied. Bit-identity
+  /// contract: wide and scalar runs produce the same output streams and
+  /// the same summed ActivityStats, so this is purely a speed switch.
+  /// With a single lane the scalar engine runs either way.
+  bool wide_sim = true;
+  /// When set, the final validation simulation dumps a VCD to this stream.
+  /// Waveforms are a per-lane concept, so only the first stimulus lane is
+  /// recorded and that simulation uses the scalar engine (the DDCG
+  /// activity simulation stays wide). Not owned.
+  std::ostream* vcd = nullptr;
 
   /// Run a sequential equivalence check (src/equiv/) against the input FF
   /// netlist after every transform stage, recording which stage (if any)
@@ -210,6 +224,17 @@ struct FlowResult {
 /// Runs the complete flow for one style of the benchmark under `stimulus`.
 FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
                     const Stimulus& stimulus, const FlowOptions& options = {});
+
+/// Multi-lane variant: runs the flow once and simulates every stimulus
+/// lane — bit-parallel in one WideSimulator pass when
+/// FlowOptions::wide_sim allows, scalar lane-by-lane otherwise, with
+/// bit-identical results either way. `lanes` must hold 1..kMaxSimLanes
+/// equally-shaped stimuli; FlowResult::outputs is the lane-major
+/// concatenation of the per-lane streams and the power activity is the
+/// sum over lanes.
+FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
+                    std::span<const Stimulus> lanes,
+                    const FlowOptions& options = {});
 
 /// Diagnostic result of a stream comparison: where two flows first diverged,
 /// or `cycle == -1` when the streams match. Converts to bool ("equal") so

@@ -35,6 +35,11 @@ std::uint64_t task_seed(std::uint64_t base, std::string_view benchmark) {
   return mix(base ^ mix(fnv1a(benchmark)));
 }
 
+std::uint64_t lane_seed(std::uint64_t task_seed, std::size_t lane) {
+  if (lane == 0) return task_seed;  // one-lane plans match the old engine
+  return mix(task_seed ^ mix(lane));
+}
+
 std::vector<MatrixTask> RunPlan::tasks() const {
   const std::vector<std::string>& names =
       benchmarks.empty() ? circuits::benchmark_names() : benchmarks;
@@ -54,13 +59,23 @@ std::vector<MatrixTask> RunPlan::tasks() const {
 }
 
 MatrixResult run_task(const RunPlan& plan, const MatrixTask& task) {
+  require(plan.lanes >= 1 && plan.lanes <= kMaxSimLanes,
+          "run_task: RunPlan::lanes must be in [1, 64]");
   Stopwatch watch;
   const circuits::Benchmark bench = circuits::make_benchmark(task.benchmark);
-  const Stimulus stimulus =
-      circuits::make_stimulus(bench, plan.workload, plan.cycles, task.seed);
+  // The cycle budget is split across lanes (rounded up), each lane with
+  // its own derived seed; lane 0 of a 1-lane plan is exactly the old
+  // single-stimulus task.
+  const std::size_t per_lane = (plan.cycles + plan.lanes - 1) / plan.lanes;
+  std::vector<Stimulus> stimuli;
+  stimuli.reserve(plan.lanes);
+  for (std::size_t l = 0; l < plan.lanes; ++l) {
+    stimuli.push_back(circuits::make_stimulus(bench, plan.workload, per_lane,
+                                              lane_seed(task.seed, l)));
+  }
   MatrixResult out;
   out.task = task;
-  out.result = run_flow(bench, task.style, stimulus, plan.options);
+  out.result = run_flow(bench, task.style, stimuli, plan.options);
   out.seconds = watch.seconds();
   return out;
 }
@@ -105,6 +120,36 @@ std::vector<MatrixResult> run_matrix(const RunPlan& plan) {
   for (const MatrixTask& task : tasks) {
     results.push_back(run_task(plan, task));
   }
+  return results;
+}
+
+std::vector<std::vector<MatrixResult>> run_matrices(
+    std::span<const RunPlan> plans, util::Executor& executor) {
+  // Plan copies with the executor attached; sized up front so the queued
+  // lambdas' references stay valid for the whole join.
+  std::vector<RunPlan> parallel_plans(plans.begin(), plans.end());
+  std::vector<std::vector<std::future<MatrixResult>>> futures(plans.size());
+  for (std::size_t p = 0; p < parallel_plans.size(); ++p) {
+    RunPlan& plan = parallel_plans[p];
+    plan.options.executor = &executor;
+    for (const MatrixTask& task : plan.tasks()) {
+      futures[p].push_back(executor.submit(
+          [&plan, task]() { return run_task(plan, task); }));
+    }
+  }
+  std::vector<std::vector<MatrixResult>> results(plans.size());
+  std::exception_ptr first_error;
+  for (std::size_t p = 0; p < futures.size(); ++p) {
+    results[p].reserve(futures[p].size());
+    for (std::future<MatrixResult>& future : futures[p]) {
+      try {
+        results[p].push_back(executor.wait(std::move(future)));
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,12 @@ struct MatrixTask {
 /// latch-based designs (Sec. V).
 std::uint64_t task_seed(std::uint64_t base, std::string_view benchmark);
 
+/// Deterministic per-lane stimulus seed for multi-lane tasks
+/// (RunPlan::lanes >= 2). Lane 0 is the task seed itself, so a one-lane
+/// plan is bit-identical to the pre-lane engine; further lanes get
+/// splitmix64-mixed derivatives.
+std::uint64_t lane_seed(std::uint64_t task_seed, std::size_t lane);
+
 /// A benchmarks x styles grid sharing one FlowOptions / workload / cycle
 /// count. Empty `benchmarks` means every built-in benchmark; `styles`
 /// defaults to the paper's three compared designs.
@@ -59,6 +66,15 @@ struct RunPlan {
   circuits::Workload workload = circuits::Workload::kPaperDefault;
   std::size_t cycles = 96;
   std::uint64_t stimulus_seed = 7;  // base seed; tasks derive their own
+  /// Stimulus lanes per task, in [1, kMaxSimLanes]. With lanes >= 2 each
+  /// task generates `lanes` independent stimuli (lane_seed) of
+  /// ceil(cycles / lanes) cycles each and simulates them in one
+  /// bit-parallel WideSimulator pass (FlowOptions::wide_sim permitting) —
+  /// the cheap way to reach a cycle budget. Results stay deterministic
+  /// across thread counts, but a 4-lane plan samples different stimuli
+  /// than a 1-lane plan of the same seed, so lane count is part of the
+  /// reproducibility key.
+  std::size_t lanes = 1;
 
   /// Expands the grid into per-task descriptors in plan order.
   [[nodiscard]] std::vector<MatrixTask> tasks() const;
@@ -83,6 +99,16 @@ std::vector<MatrixResult> run_matrix(const RunPlan& plan,
 
 /// Serial reference: same results (bit-identical), no threads involved.
 std::vector<MatrixResult> run_matrix(const RunPlan& plan);
+
+/// Executes several plans on one shared executor, every task of every
+/// plan submitted in a single wave — the configuration-sweep drivers
+/// (fig2/fig3/fig4, ablation_cg, ablation_retime) build one plan per
+/// FlowOptions/workload configuration and keep the pool saturated across
+/// configurations instead of barriering between run_matrix calls.
+/// Returns one result vector per plan, each in that plan's order; the
+/// run_matrix determinism contract applies to every plan independently.
+std::vector<std::vector<MatrixResult>> run_matrices(
+    std::span<const RunPlan> plans, util::Executor& executor);
 
 /// FNV-1a hash of an output stream (cycle and bit order significant);
 /// the cheap fingerprint the CI divergence gate compares across thread

@@ -184,4 +184,32 @@ bool eval_comb(CellKind kind, std::span<const bool> ins) {
   }
 }
 
+std::uint64_t eval_comb_word(CellKind kind,
+                             std::span<const std::uint64_t> ins) {
+  switch (kind) {
+    case CellKind::kBuf: return ins[0];
+    case CellKind::kInv: return ~ins[0];
+    case CellKind::kAnd2: return ins[0] & ins[1];
+    case CellKind::kAnd3: return ins[0] & ins[1] & ins[2];
+    case CellKind::kOr2: return ins[0] | ins[1];
+    case CellKind::kOr3: return ins[0] | ins[1] | ins[2];
+    case CellKind::kNand2: return ~(ins[0] & ins[1]);
+    case CellKind::kNand3: return ~(ins[0] & ins[1] & ins[2]);
+    case CellKind::kNor2: return ~(ins[0] | ins[1]);
+    case CellKind::kNor3: return ~(ins[0] | ins[1] | ins[2]);
+    case CellKind::kXor2: return ins[0] ^ ins[1];
+    case CellKind::kXnor2: return ~(ins[0] ^ ins[1]);
+    case CellKind::kMux2: return (ins[2] & ins[1]) | (~ins[2] & ins[0]);
+    case CellKind::kAoi21: return ~((ins[0] & ins[1]) | ins[2]);
+    case CellKind::kOai21: return ~((ins[0] | ins[1]) & ins[2]);
+    case CellKind::kMaj3:
+      return (ins[0] & ins[1]) | (ins[0] & ins[2]) | (ins[1] & ins[2]);
+    case CellKind::kIcgNoLatch: return ins[0] & ins[1];
+    case CellKind::kClkBuf: return ins[0];
+    case CellKind::kClkInv: return ~ins[0];
+    default:
+      throw Error("eval_comb_word: kind is not combinational");
+  }
+}
+
 }  // namespace tp

@@ -109,4 +109,12 @@ int clock_pin(CellKind kind);
 /// num_inputs(kind) entries.
 bool eval_comb(CellKind kind, std::span<const bool> ins);
 
+/// Word-parallel evaluation of a stateless kind: bit i of every operand
+/// word belongs to an independent simulation lane (src/sim/wide_sim.hpp),
+/// so one call evaluates the gate in up to 64 lanes at once. `ins` must
+/// have num_inputs(kind) entries. Inverting kinds set bits outside the
+/// active lanes too; callers mask the result with their lane mask.
+std::uint64_t eval_comb_word(CellKind kind,
+                             std::span<const std::uint64_t> ins);
+
 }  // namespace tp

@@ -1,0 +1,38 @@
+// Intra-cycle event schedule shared by the scalar Simulator and the
+// bit-parallel WideSimulator. Keeping these in one place is what makes the
+// two engines' event schedules identical by construction — a precondition
+// of the wide engine's bit-identity contract (docs/simulation.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp::sim_detail {
+
+/// Distinct phase-edge times inside one cycle, ascending, always including
+/// 0 (the cycle-boundary event at which primary inputs change).
+inline std::vector<std::int64_t> edge_times(const ClockSpec& clocks) {
+  std::vector<std::int64_t> times{0};
+  for (const PhaseWaveform& w : clocks.phases) {
+    times.push_back(w.rise_ps % clocks.period_ps);
+    times.push_back(w.fall_ps % clocks.period_ps);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+/// Waveform level of a phase at time `t` within the cycle (rise <= t <
+/// fall, with wrap-around for waveforms that straddle the boundary).
+inline bool phase_level(const PhaseWaveform& w, std::int64_t period,
+                        std::int64_t t) {
+  const std::int64_t rise = w.rise_ps % period;
+  const std::int64_t fall = w.fall_ps % period;
+  if (rise <= fall) return rise <= t && t < fall;
+  return t >= rise || t < fall;  // wrapping waveform
+}
+
+}  // namespace tp::sim_detail

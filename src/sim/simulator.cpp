@@ -3,37 +3,19 @@
 #include <algorithm>
 #include <ostream>
 
+#include "src/sim/schedule.hpp"
+
 namespace tp {
-namespace {
 
-/// Distinct phase-edge times inside one cycle, ascending, always including 0.
-std::vector<std::int64_t> edge_times(const ClockSpec& clocks) {
-  std::vector<std::int64_t> times{0};
-  for (const PhaseWaveform& w : clocks.phases) {
-    times.push_back(w.rise_ps % clocks.period_ps);
-    times.push_back(w.fall_ps % clocks.period_ps);
-  }
-  std::sort(times.begin(), times.end());
-  times.erase(std::unique(times.begin(), times.end()), times.end());
-  return times;
-}
-
-/// Waveform level of a phase at time `t` within the cycle (rise <= t < fall).
-bool phase_level(const PhaseWaveform& w, std::int64_t period,
-                 std::int64_t t) {
-  const std::int64_t rise = w.rise_ps % period;
-  const std::int64_t fall = w.fall_ps % period;
-  if (rise <= fall) return rise <= t && t < fall;
-  return t >= rise || t < fall;  // wrapping waveform
-}
-
-}  // namespace
+using sim_detail::edge_times;
+using sim_detail::phase_level;
 
 Simulator::Simulator(const Netlist& netlist, SimOptions options)
     : netlist_(netlist), options_(options) {
   require(netlist_.clocks().period_ps > 0,
           "Simulator: netlist has no clock spec");
   event_times_ = edge_times(netlist_.clocks());
+  data_pis_ = netlist_.data_inputs();  // rebuilt per call; cache once
   reset();
 }
 
@@ -112,8 +94,7 @@ void Simulator::clear_stats() {
 }
 
 void Simulator::step(std::span<const std::uint8_t> pi_values) {
-  const std::vector<CellId> data_pis = netlist_.data_inputs();
-  require(pi_values.size() == data_pis.size(),
+  require(pi_values.size() == data_pis_.size(),
           "Simulator::step: wrong number of PI values");
   ++stats_.cycles;
 
@@ -128,12 +109,12 @@ void Simulator::step(std::span<const std::uint8_t> pi_values) {
     vcd_timestamp(cycle_base + t);
 
     // 1. Root clock transitions, then zero-delay clock-network propagation.
-    std::vector<NetId> changed_clock_nets;
+    event_clock_changes_.clear();
     for (const PhaseWaveform& w : netlist_.clocks().phases) {
       const bool target = phase_level(w, netlist_.clocks().period_ps, t);
       if (value(w.root) != target) {
         set_net(w.root, target);
-        changed_clock_nets.push_back(w.root);
+        event_clock_changes_.push_back(w.root);
         for (const PinRef& ref : netlist_.net(w.root).fanouts) {
           if (is_clock_cell(netlist_.cell(ref.cell).kind)) {
             clock_worklist_.push_back(ref.cell);
@@ -141,16 +122,16 @@ void Simulator::step(std::span<const std::uint8_t> pi_values) {
         }
       }
     }
-    propagate_clock_network(changed_clock_nets);
+    propagate_clock_network(event_clock_changes_);
 
     // 2. Atomic register update on the settled clock state.
-    update_registers(changed_clock_nets);
+    update_registers(event_clock_changes_);
 
     // 3. Primary-input changes (PIs behave as if clocked by p1: they change
     //    at t = 0, after registers sampled the old values).
     if (t == 0) {
-      for (std::size_t i = 0; i < data_pis.size(); ++i) {
-        const NetId net = netlist_.cell(data_pis[i]).out;
+      for (std::size_t i = 0; i < data_pis_.size(); ++i) {
+        const NetId net = netlist_.cell(data_pis_[i]).out;
         if (value(net) != (pi_values[i] != 0)) {
           set_net(net, pi_values[i] != 0);
           enqueue_fanouts(net);
@@ -222,11 +203,7 @@ void Simulator::propagate_clock_network(
 void Simulator::update_registers(
     const std::vector<NetId>& changed_clock_nets) {
   // Read phase: decide every register's new output from pre-update values.
-  struct Write {
-    CellId cell;
-    bool q;
-  };
-  std::vector<Write> writes;
+  writes_.clear();
   for (const NetId net : changed_clock_nets) {
     const bool level = value(net);
     for (const PinRef& ref : netlist_.net(net).fanouts) {
@@ -239,21 +216,21 @@ void Simulator::update_registers(
         case CellKind::kDff:
         case CellKind::kLatchP:  // hold-clean pulsed latch: edge sample
           if (level && !last_clock_[ref.cell.value()]) {
-            writes.push_back({ref.cell, value(cell.ins[0])});
+            writes_.push_back({ref.cell, value(cell.ins[0])});
           }
           break;
         case CellKind::kDffEn:
           if (level && !last_clock_[ref.cell.value()]) {
-            writes.push_back({ref.cell, value(cell.ins[1])
-                                            ? value(cell.ins[0])
-                                            : value(cell.out)});
+            writes_.push_back({ref.cell, value(cell.ins[1])
+                                             ? value(cell.ins[0])
+                                             : value(cell.out)});
           }
           break;
         case CellKind::kLatchH:
-          if (level) writes.push_back({ref.cell, value(cell.ins[0])});
+          if (level) writes_.push_back({ref.cell, value(cell.ins[0])});
           break;
         case CellKind::kLatchL:
-          if (!level) writes.push_back({ref.cell, value(cell.ins[0])});
+          if (!level) writes_.push_back({ref.cell, value(cell.ins[0])});
           break;
         default:
           break;
@@ -262,7 +239,7 @@ void Simulator::update_registers(
     }
   }
   // Write phase: apply simultaneously and seed data propagation.
-  for (const Write& w : writes) {
+  for (const Write& w : writes_) {
     const NetId out = netlist_.cell(w.cell).out;
     if (value(out) != w.q) {
       set_net(out, w.q);
@@ -395,12 +372,13 @@ void Simulator::propagate_data() {
     while (!tick_next_.empty()) {
       tick_now_.swap(tick_next_);
       tick_next_.clear();
-      if (!options_.unit_delay) {
-        // Zero-delay mode: evaluate in id order per wave, which for the
-        // generator-produced netlists matches topological creation order and
-        // suppresses most spurious glitch counting.
-        std::sort(tick_now_.begin(), tick_now_.end());
-      }
+      // Canonical wave order: evaluate in ascending cell-id order. This is
+      // the order the bit-parallel WideSimulator evaluates the union wave
+      // of all lanes, so per-lane toggle counts decompose exactly (the
+      // bit-identity contract); for the generator-produced netlists it also
+      // matches topological creation order and suppresses most spurious
+      // glitch counting.
+      std::sort(tick_now_.begin(), tick_now_.end());
       for (const CellId id : tick_now_) queued_[id.value()] = 0;
       for (const CellId id : tick_now_) evaluate_cell(id);
       tick_now_.clear();
@@ -409,10 +387,10 @@ void Simulator::propagate_data() {
     // Nested clock event (enable changed while its clock is high, or data
     // driving a clock pin): settle the clock network, update registers,
     // continue propagating.
-    std::vector<NetId> changed = std::move(nested_clock_changes_);
+    nested_scratch_.swap(nested_clock_changes_);
     nested_clock_changes_.clear();
-    propagate_clock_network(changed);
-    update_registers(changed);
+    propagate_clock_network(nested_scratch_);
+    update_registers(nested_scratch_);
   }
 }
 

@@ -38,7 +38,12 @@
 namespace tp {
 
 struct SimOptions {
-  /// Unit gate delay (glitch-accurate) vs. zero-delay delta cycles.
+  /// Unit gate delay (glitch-accurate) vs. zero-delay delta cycles. The
+  /// wave structure is the same in both modes, and every wave is evaluated
+  /// in canonical ascending cell-id order — the order the bit-parallel
+  /// WideSimulator uses, so lane-decomposed runs stay bit-identical to
+  /// scalar runs (see docs/simulation.md) — which makes the two modes
+  /// produce identical streams and toggle statistics.
   bool unit_delay = true;
   /// Abort threshold for non-settling (oscillating) propagation.
   std::uint64_t max_evals_per_event = 50'000'000;
@@ -119,6 +124,7 @@ class Simulator {
   std::vector<char> icg_state_;   // per cell: ICG internal enable latch
   std::vector<char> last_clock_;  // per cell: last seen clock-pin value
   std::vector<std::int64_t> event_times_;  // distinct edge times in a cycle
+  std::vector<CellId> data_pis_;  // cached Netlist::data_inputs()
 
   // Data-propagation worklists (current / next tick).
   std::vector<CellId> tick_now_;
@@ -130,6 +136,17 @@ class Simulator {
   // Clock nets whose value changed during *data* propagation (illegal clock
   // gating makes this possible); processed as nested clock events.
   std::vector<NetId> nested_clock_changes_;
+
+  // Scratch buffers reused across events so the per-cycle hot path does not
+  // allocate: clock nets changed by the current event, deferred register
+  // writes, and the nested-clock-changes snapshot drained per round.
+  std::vector<NetId> event_clock_changes_;
+  struct Write {
+    CellId cell;
+    bool q;
+  };
+  std::vector<Write> writes_;
+  std::vector<NetId> nested_scratch_;
 
   ActivityStats stats_;
   std::vector<std::uint8_t> po_snapshot_;

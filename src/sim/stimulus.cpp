@@ -16,6 +16,63 @@ Stimulus random_stimulus(std::size_t num_inputs, std::size_t cycles, Rng& rng,
   return stimulus;
 }
 
+WideStimulus pack_stimulus(std::span<const Stimulus> lanes) {
+  require(!lanes.empty() && lanes.size() <= kMaxSimLanes,
+          "pack_stimulus: lane count must be in [1, 64]");
+  const std::size_t cycles = lanes[0].size();
+  const std::size_t inputs = cycles == 0 ? 0 : lanes[0][0].size();
+  WideStimulus packed;
+  packed.lanes = lanes.size();
+  packed.words.assign(cycles, std::vector<std::uint64_t>(inputs, 0));
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    require(lanes[l].size() == cycles,
+            "pack_stimulus: lanes must have equal cycle counts");
+    for (std::size_t c = 0; c < cycles; ++c) {
+      require(lanes[l][c].size() == inputs,
+              "pack_stimulus: lanes must have equal input counts");
+      for (std::size_t i = 0; i < inputs; ++i) {
+        if (lanes[l][c][i] != 0) {
+          packed.words[c][i] |= std::uint64_t{1} << l;
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+OutputStream run_wide_stream(WideSimulator& sim, const WideStimulus& stimulus,
+                             std::size_t warmup_cycles) {
+  require(stimulus.lanes == sim.lanes(),
+          "run_wide_stream: stimulus/simulator lane counts differ");
+  sim.reset();
+  // Collect lane-packed snapshot rows, then unpack lane-major so the
+  // result is the concatenation of the per-lane scalar streams.
+  std::vector<std::vector<std::uint64_t>> rows;
+  const std::size_t cycles = stimulus.words.size();
+  const std::size_t kept = cycles > warmup_cycles ? cycles - warmup_cycles : 0;
+  rows.reserve(kept);
+  std::size_t cycle = 0;
+  for (const auto& pi_words : stimulus.words) {
+    if (cycle == warmup_cycles) sim.clear_stats();
+    sim.step(pi_words);
+    if (cycle >= warmup_cycles) rows.push_back(sim.outputs());
+    ++cycle;
+  }
+  OutputStream stream;
+  stream.reserve(stimulus.lanes * rows.size());
+  const std::size_t outs = rows.empty() ? 0 : rows[0].size();
+  for (std::size_t l = 0; l < stimulus.lanes; ++l) {
+    for (const auto& row : rows) {
+      std::vector<std::uint8_t> bits(outs);
+      for (std::size_t j = 0; j < outs; ++j) {
+        bits[j] = static_cast<std::uint8_t>((row[j] >> l) & 1u);
+      }
+      stream.push_back(std::move(bits));
+    }
+  }
+  return stream;
+}
+
 OutputStream run_stream(Simulator& sim, const Stimulus& stimulus,
                         std::size_t warmup_cycles) {
   sim.reset();

@@ -6,9 +6,11 @@
 // capture the per-cycle primary-output vectors, and compare.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/sim/simulator.hpp"
+#include "src/sim/wide_sim.hpp"
 #include "src/util/rng.hpp"
 
 namespace tp {
@@ -30,6 +32,28 @@ Stimulus random_stimulus(std::size_t num_inputs, std::size_t cycles, Rng& rng,
 /// activity statistics) so that reset transients do not pollute comparisons.
 OutputStream run_stream(Simulator& sim, const Stimulus& stimulus,
                         std::size_t warmup_cycles = 4);
+
+/// Lane-packed stimulus for the WideSimulator: one word per data primary
+/// input per cycle; bit i of every word belongs to independent stimulus
+/// lane i. All lanes share one cycle count and input count.
+struct WideStimulus {
+  std::size_t lanes = 0;
+  std::vector<std::vector<std::uint64_t>> words;  // [cycle][input]
+};
+
+/// Packs up to kMaxSimLanes scalar stimuli (all with the same shape) into
+/// lane-packed words: lane i carries `lanes[i]`.
+WideStimulus pack_stimulus(std::span<const Stimulus> lanes);
+
+/// Resets the wide simulator, plays `stimulus` in every lane, and returns
+/// the lane-major concatenation of the per-lane output streams: rows
+/// [lane * kept .. (lane + 1) * kept) are lane `lane`'s post-warmup
+/// responses, where kept = cycles - warmup_cycles. By the bit-identity
+/// contract this equals concatenating run_stream() over the scalar lanes
+/// in order, and the simulator's ActivityStats equal the per-lane scalar
+/// stats summed.
+OutputStream run_wide_stream(WideSimulator& sim, const WideStimulus& stimulus,
+                             std::size_t warmup_cycles = 4);
 
 /// True when both streams have equal length and identical vectors.
 bool streams_equal(const OutputStream& a, const OutputStream& b);

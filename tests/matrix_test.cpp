@@ -240,6 +240,94 @@ TEST(RunMatrix, ParallelBitIdenticalToSerialRunFlowLoop) {
   }
 }
 
+TEST(RunMatrix, WideLanesBitIdenticalAcrossEnginesAndSchedules) {
+  // A multi-lane plan must produce the same results from (a) the serial
+  // engine with the wide simulator, (b) the serial engine with the scalar
+  // lane-by-lane fallback, and (c) the parallel engine — the wide engine's
+  // bit-identity contract surfaced at the matrix level. Also runs under
+  // TSan in CI, covering the wide engine on the executor.
+  RunPlan plan;
+  plan.benchmarks = {"s1196", "s1488"};
+  plan.styles = {DesignStyle::kFlipFlop, DesignStyle::kThreePhase};
+  plan.cycles = 48;
+  plan.lanes = 4;
+  // Warmup applies per lane; ceil(48 / 4) = 12 cycles per lane must leave
+  // post-warmup cycles to compare.
+  plan.options.warmup_cycles = 4;
+
+  const std::vector<MatrixResult> wide_serial = run_matrix(plan);
+
+  RunPlan scalar_plan = plan;
+  scalar_plan.options.wide_sim = false;
+  const std::vector<MatrixResult> scalar_serial = run_matrix(scalar_plan);
+
+  util::Executor executor(4);
+  const std::vector<MatrixResult> wide_parallel = run_matrix(plan, executor);
+
+  ASSERT_EQ(wide_serial.size(), scalar_serial.size());
+  ASSERT_EQ(wide_serial.size(), wide_parallel.size());
+  for (std::size_t i = 0; i < wide_serial.size(); ++i) {
+    expect_identical(wide_serial[i].result, scalar_serial[i].result,
+                     wide_serial[i].task);
+    expect_identical(wide_serial[i].result, wide_parallel[i].result,
+                     wide_serial[i].task);
+    // 4 lanes x (12 - 4) post-warmup cycles.
+    EXPECT_EQ(wide_serial[i].result.outputs.size(), 32u)
+        << wide_serial[i].task.benchmark;
+  }
+}
+
+TEST(RunMatrix, OneLanePlanMatchesPreLaneEngine) {
+  // lanes == 1 must reproduce the original engine bit-for-bit: lane 0's
+  // seed is the task seed and the full cycle budget lands in that lane.
+  RunPlan plan;
+  plan.benchmarks = {"s1196"};
+  plan.styles = {DesignStyle::kThreePhase};
+  plan.cycles = 48;
+  const circuits::Benchmark bench = circuits::make_benchmark("s1196");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, plan.workload, plan.cycles,
+      flow::task_seed(plan.stimulus_seed, "s1196"));
+  const FlowResult reference =
+      run_flow(bench, DesignStyle::kThreePhase, stim, plan.options);
+  const std::vector<MatrixResult> serial = run_matrix(plan);
+  ASSERT_EQ(serial.size(), 1u);
+  expect_identical(reference, serial[0].result, serial[0].task);
+}
+
+TEST(RunMatrices, InterleavedPlansMatchIndividualRuns) {
+  // run_matrices submits every plan's tasks in one wave; each plan's
+  // results must still equal a standalone run_matrix of that plan.
+  RunPlan base;
+  base.benchmarks = {"s1196"};
+  base.styles = {DesignStyle::kThreePhase};
+  base.cycles = 48;
+  base.lanes = 4;
+  base.options.warmup_cycles = 4;
+  std::vector<RunPlan> plans(2, base);
+  plans[1].options.retime = false;
+
+  util::Executor executor(4);
+  const std::vector<std::vector<MatrixResult>> interleaved =
+      run_matrices(plans, executor);
+  ASSERT_EQ(interleaved.size(), 2u);
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const std::vector<MatrixResult> alone = run_matrix(plans[p]);
+    ASSERT_EQ(interleaved[p].size(), alone.size());
+    for (std::size_t i = 0; i < alone.size(); ++i) {
+      expect_identical(alone[i].result, interleaved[p][i].result,
+                       alone[i].task);
+    }
+  }
+}
+
+TEST(LaneSeed, LaneZeroIsTaskSeed) {
+  EXPECT_EQ(flow::lane_seed(1234, 0), 1234u);
+  EXPECT_NE(flow::lane_seed(1234, 1), 1234u);
+  EXPECT_NE(flow::lane_seed(1234, 1), flow::lane_seed(1234, 2));
+  EXPECT_EQ(flow::lane_seed(1234, 3), flow::lane_seed(1234, 3));
+}
+
 TEST(RunMatrix, RepeatedParallelRunsAreIdentical) {
   RunPlan plan;
   plan.benchmarks = {"s1238"};
