@@ -28,6 +28,7 @@
 #include "src/flow/matrix.hpp"
 #include "src/util/argparse.hpp"
 #include "src/util/executor.hpp"
+#include "src/util/json.hpp"
 
 using namespace tp;
 using namespace tp::flow;
@@ -195,22 +196,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_file.c_str());
     return 1;
   }
-  char buffer[1152];
-  std::snprintf(
-      buffer, sizeof(buffer),
-      "{\"bench\":\"matrix_throughput\",\"tasks\":%zu,\"cycles\":%zu,"
-      "\"lanes\":%zu,\"threads\":%zu,\"serial_s\":%.3f,\"parallel_s\":%.3f,"
-      "\"speedup\":%.3f,\"tasks_per_s\":%.3f,\"identical\":%s,"
-      "\"wide_identical\":%s,"
-      "\"stage_seconds\":{\"synthesis\":%.3f,\"ilp\":%.3f,\"convert\":%.3f,"
-      "\"retime\":%.3f,\"clock_gating\":%.3f,\"hold\":%.3f,\"timing\":%.3f,"
-      "\"place\":%.3f,\"cts\":%.3f,\"sim\":%.3f,\"lint\":%.3f}}\n",
-      serial.size(), cycles, lanes, threads, serial_s, parallel_s, speedup,
-      parallel.size() / parallel_s, divergent == 0 ? "true" : "false",
-      engine_divergent == 0 ? "true" : "false", stages.synthesis,
-      stages.ilp, stages.convert, stages.retime, stages.cg, stages.hold,
-      stages.timing, stages.place, stages.cts, stages.sim, stages.lint);
-  out << buffer;
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("matrix_throughput");
+  w.key("tasks").value(static_cast<std::uint64_t>(serial.size()));
+  w.key("cycles").value(static_cast<std::uint64_t>(cycles));
+  w.key("lanes").value(static_cast<std::uint64_t>(lanes));
+  w.key("threads").value(static_cast<std::uint64_t>(threads));
+  w.key("serial_s").value(serial_s);
+  w.key("parallel_s").value(parallel_s);
+  w.key("speedup").value(speedup);
+  w.key("tasks_per_s").value(parallel.size() / parallel_s);
+  w.key("identical").value(divergent == 0);
+  w.key("wide_identical").value(engine_divergent == 0);
+  w.key("stage_seconds").begin_object();
+  w.key("synthesis").value(stages.synthesis);
+  w.key("ilp").value(stages.ilp);
+  w.key("convert").value(stages.convert);
+  w.key("retime").value(stages.retime);
+  w.key("clock_gating").value(stages.cg);
+  w.key("hold").value(stages.hold);
+  w.key("timing").value(stages.timing);
+  w.key("place").value(stages.place);
+  w.key("cts").value(stages.cts);
+  w.key("sim").value(stages.sim);
+  w.key("lint").value(stages.lint);
+  w.end_object();
+  w.end_object();
+  out << w.take() << "\n";
   std::printf("  wrote     %s\n", out_file.c_str());
 
   if (divergent > 0 || engine_divergent > 0) {

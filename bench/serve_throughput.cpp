@@ -1,0 +1,191 @@
+// Conversion-service throughput benchmark.
+//
+// Drives tp::serve::Server::run_wave directly (no sockets: this measures
+// the cache + wave engine, not loopback TCP) with a mixed stream of novel
+// and repeated requests — the access pattern a design-space-exploration
+// client produces, where most sweep points have been asked before. Writes
+// a BENCH_serve.json record: requests/s, p50/p99 per-request latency,
+// cache hit rate, and bytes served. CI uploads the JSON as an artifact to
+// track the serving-path perf trajectory over time.
+//
+//   $ ./bench/serve_throughput [--requests N] [--wave N] [--cycles N]
+//                              [--threads N] [--out FILE]
+//
+// The first --unique requests are distinct computations; the remainder
+// repeat them round-robin, so the expected steady-state hit rate is
+// (requests - unique) / requests. The bench fails (exit 1) if a repeated
+// request misses the cache or any response reports ok:false — either
+// would mean the content-addressed keying is broken.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/circuits/benchmark.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strcat.hpp"
+
+using namespace tp;
+using namespace tp::serve;
+
+namespace {
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 1200, wave = 64, cycles = 24, threads = 0;
+  std::size_t unique = 0;
+  std::string out_file = "BENCH_serve.json";
+
+  util::ArgParser parser(
+      "serve_throughput",
+      "replay a mixed novel/repeated request stream through the serving "
+      "wave engine and record req/s, latency percentiles, and hit rate");
+  parser.add_value("--requests", &requests,
+                   "total requests to replay (default 1200)");
+  parser.add_value("--unique", &unique,
+                   "distinct computations; the rest repeat them "
+                   "(default requests/4)");
+  parser.add_value("--wave", &wave,
+                   "requests coalesced per wave (default 64)");
+  parser.add_value("--cycles", &cycles,
+                   "simulated cycles per conversion (default 24)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_value("--out", &out_file,
+                   "JSON output path (default BENCH_serve.json)", "FILE");
+  parser.parse_or_exit(argc, argv);
+  if (requests == 0 || wave == 0) {
+    std::fprintf(stderr, "--requests and --wave must be positive\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (unique == 0) unique = std::max<std::size_t>(1, requests / 4);
+  unique = std::min(unique, requests);
+
+  // Small, fast circuits: the bench measures serving overhead and cache
+  // behavior, not flow runtime.
+  const std::vector<std::string> benchmarks = {"s1196", "s1238", "s1423",
+                                               "s1488"};
+  const std::vector<std::string_view> styles = {"ff", "ms", "3p"};
+  const std::vector<std::string_view> types = {"convert", "power_eval"};
+
+  // Distinct computations differ in seed (and cycle the benchmark/style
+  // grid); repeats replay them round-robin with fresh ids.
+  std::vector<std::string> lines;
+  lines.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::size_t u = i < unique ? i : (i - unique) % unique;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("id").value(cat("r", i));
+    w.key("type").value(types[u % types.size()]);
+    w.key("benchmark").value(benchmarks[u % benchmarks.size()]);
+    w.key("style").value(styles[(u / benchmarks.size()) % styles.size()]);
+    w.key("preset").value("fast");
+    w.key("cycles").value(static_cast<std::uint64_t>(cycles));
+    w.key("seed").value(static_cast<std::uint64_t>(7 + u));
+    w.end_object();
+    lines.push_back(w.take());
+  }
+
+  ServerOptions options;
+  options.threads = threads;
+  options.cache.memory_entries = 4 * unique;  // no eviction noise
+  Server server(options);
+
+  std::printf("serve_throughput: %zu requests (%zu unique), waves of %zu, "
+              "%zu thread(s)\n",
+              requests, unique, wave, server.executor().thread_count());
+
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  std::size_t ok = 0, cached = 0, repeat_misses = 0;
+  Stopwatch wall;
+  for (std::size_t base = 0; base < lines.size(); base += wave) {
+    const std::size_t end = std::min(lines.size(), base + wave);
+    const std::vector<std::string> batch(lines.begin() + base,
+                                         lines.begin() + end);
+    const std::vector<Outcome> outcomes = server.run_wave(batch);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const Outcome& out = outcomes[i];
+      latencies.push_back(out.latency_s);
+      if (out.ok) ++ok;
+      if (out.cached) ++cached;
+      // Repeats of a prior wave must hit (in-wave repeats may dedupe or
+      // hit depending on wave alignment, so only count cross-wave ones).
+      if (base + i >= unique && base >= unique && !out.cached) {
+        ++repeat_misses;
+      }
+    }
+  }
+  const double wall_s = wall.seconds();
+
+  const ServerCounters counters = server.counters();
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double req_s = wall_s > 0 ? requests / wall_s : 0.0;
+  const double hit_rate = counters.cache.hit_rate();
+
+  std::printf("  %7.2f s wall, %.1f req/s\n", wall_s, req_s);
+  std::printf("  latency p50 %.3f ms, p99 %.3f ms\n", 1e3 * p50, 1e3 * p99);
+  std::printf("  %zu/%zu ok, %zu served without a flow run "
+              "(%llu cache hits, %llu deduped, %llu computed)\n",
+              ok, requests, cached,
+              static_cast<unsigned long long>(counters.cells_cached),
+              static_cast<unsigned long long>(counters.cells_deduped),
+              static_cast<unsigned long long>(counters.cells_computed));
+  std::printf("  cache hit rate %.1f%%, %llu bytes served\n",
+              100.0 * hit_rate,
+              static_cast<unsigned long long>(counters.bytes_out));
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("serve_throughput");
+  w.key("requests").value(static_cast<std::uint64_t>(requests));
+  w.key("unique").value(static_cast<std::uint64_t>(unique));
+  w.key("wave").value(static_cast<std::uint64_t>(wave));
+  w.key("cycles").value(static_cast<std::uint64_t>(cycles));
+  w.key("threads").value(
+      static_cast<std::uint64_t>(server.executor().thread_count()));
+  w.key("wall_s").value(wall_s);
+  w.key("requests_per_s").value(req_s);
+  w.key("latency_p50_s").value(p50);
+  w.key("latency_p99_s").value(p99);
+  w.key("hit_rate").value(hit_rate);
+  w.key("bytes_out").value(counters.bytes_out);
+  w.key("cells_computed").value(counters.cells_computed);
+  w.key("cells_cached").value(counters.cells_cached);
+  w.key("cells_deduped").value(counters.cells_deduped);
+  w.key("ok").value(ok == requests && repeat_misses == 0);
+  w.end_object();
+  std::ofstream out(out_file);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", out_file.c_str());
+    return 1;
+  }
+  out << w.take() << "\n";
+  std::printf("  wrote     %s\n", out_file.c_str());
+
+  if (ok != requests || repeat_misses != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu/%zu ok, %zu cross-wave repeats missed the "
+                 "cache\n",
+                 ok, requests, repeat_misses);
+    return 1;
+  }
+  return 0;
+}

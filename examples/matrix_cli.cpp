@@ -12,29 +12,34 @@
 // Results are bit-identical for any --threads value (see
 // docs/parallelism.md for the determinism contract).
 //
-// Exit status: 0 on success, 1 when a run fails its opt-in SEC or lint
-// checks, 2 on usage errors.
+// A failing task (unknown benchmark, flow error) does not abort the
+// sweep: its error is captured per-cell (MatrixResult::error), printed as
+// a row, and turns the exit status nonzero. SIGINT/SIGTERM cancel the
+// remaining queued tasks, drain the ones already running, print what
+// completed, and exit 130.
+//
+// Exit status: 0 on success, 1 when any task fails or fails its opt-in
+// SEC/lint checks, 2 on usage errors, 130 on signal cancellation.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/flow/matrix.hpp"
+#include "src/flow/serialize.hpp"
 #include "src/util/argparse.hpp"
 #include "src/util/executor.hpp"
+#include "src/util/json.hpp"
 
 using namespace tp;
 using namespace tp::flow;
 
 namespace {
 
-bool parse_style(const std::string& text, DesignStyle* style) {
-  if (text == "ff") *style = DesignStyle::kFlipFlop;
-  else if (text == "ms") *style = DesignStyle::kMasterSlave;
-  else if (text == "3p") *style = DesignStyle::kThreePhase;
-  else if (text == "pl") *style = DesignStyle::kPulsedLatch;
-  else return false;
-  return true;
-}
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 }  // namespace
 
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   plan.cycles = cycles;
   plan.stimulus_seed = seed;
   plan.lanes = lanes;
+  plan.cancel = &g_stop;
   if (lanes < 1 || lanes > kMaxSimLanes) {
     std::fprintf(stderr, "--lanes must be in [1, 64]\n%s",
                  parser.usage().c_str());
@@ -90,7 +96,7 @@ int main(int argc, char** argv) {
     plan.styles.clear();
     for (const std::string& text : styles_arg) {
       DesignStyle style;
-      if (!parse_style(text, &style)) {
+      if (!style_from_name(text, &style)) {
         std::fprintf(stderr, "unknown --style '%s'\n%s", text.c_str(),
                      parser.usage().c_str());
         return 2;
@@ -98,28 +104,21 @@ int main(int argc, char** argv) {
       plan.styles.push_back(style);
     }
   }
-  if (preset == "paper") {
-    plan.options = FlowOptions::paper_defaults();
-  } else if (preset == "fast") {
-    plan.options = FlowOptions::fast();
-  } else if (preset == "no-gating") {
-    plan.options = FlowOptions::no_gating();
-  } else {
+  if (!options_from_preset(preset, &plan.options)) {
     std::fprintf(stderr, "unknown --preset '%s'\n%s", preset.c_str(),
                  parser.usage().c_str());
     return 2;
   }
-  if (workload_text == "dhrystone") {
-    plan.workload = circuits::Workload::kDhrystone;
-  } else if (workload_text == "coremark") {
-    plan.workload = circuits::Workload::kCoremark;
-  } else if (workload_text != "paper") {
+  if (!workload_from_name(workload_text, &plan.workload)) {
     std::fprintf(stderr, "unknown --workload '%s'\n%s",
                  workload_text.c_str(), parser.usage().c_str());
     return 2;
   }
   plan.options.check_equivalence = check_sec;
   plan.options.check_rules = check_rules;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   try {
     util::Executor executor(threads);
@@ -128,11 +127,31 @@ int main(int argc, char** argv) {
     const double wall_s = wall.seconds();
 
     int failures = 0;
+    int errors = 0;
     if (!json) {
       std::printf("%-8s %-5s | %7s %10s %8s %10s | %7s | %s\n", "design",
                   "style", "regs", "area", "power", "hash", "time", "checks");
     }
     for (const MatrixResult& r : results) {
+      if (!r.ok()) {
+        ++errors;
+        if (json) {
+          util::JsonWriter w;
+          w.begin_object();
+          w.key("design").value(r.task.benchmark);
+          w.key("style").value(style_token(r.task.style));
+          w.key("ok").value(false);
+          w.key("error").value(r.error);
+          w.end_object();
+          std::printf("%s\n", w.take().c_str());
+        } else {
+          std::printf("%-8s %-5s | ERROR %s\n", r.task.benchmark.c_str(),
+                      std::string(style_name(r.task.style)).c_str(),
+                      r.error.c_str());
+        }
+        std::fflush(stdout);
+        continue;
+      }
       const char* verdict = "-";
       if (check_sec || check_rules) {
         const bool ok = (!check_sec || r.result.equiv.all_proven()) &&
@@ -165,16 +184,20 @@ int main(int argc, char** argv) {
       }
       std::fflush(stdout);
     }
+    const bool canceled = g_stop.load(std::memory_order_relaxed);
     if (!json) {
       std::printf("\n%zu tasks on %zu thread(s): %.2f s wall, %.2f "
                   "tasks/s\n",
                   results.size(), executor.thread_count(), wall_s,
                   wall_s > 0 ? results.size() / wall_s : 0.0);
+      if (errors > 0) std::printf("%d task(s) ERRORED\n", errors);
       if (failures > 0) {
         std::printf("%d task(s) FAILED their checks\n", failures);
       }
+      if (canceled) std::printf("sweep canceled by signal\n");
     }
-    return failures == 0 ? 0 : 1;
+    if (canceled) return 130;
+    return failures == 0 && errors == 0 ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# CI smoke test for the conversion service daemon.
+#
+# Starts serve_cli on a job-file drop directory with a persistent cache,
+# pushes 100 unique jobs, waits for every result, pushes 100 repeats of
+# the same computations (fresh ids), and asserts:
+#   - every job gets a result file and every well-formed job reports ok
+#   - the repeat half is served from the cache (>= 50% hit rate required,
+#     in practice 100%: the first half has fully settled)
+#   - a shutdown job terminates the daemon with exit status 0
+#
+# Usage: scripts/serve_smoke.sh [path-to-serve_cli]
+set -euo pipefail
+
+SERVE_CLI="${1:-build/examples/serve_cli}"
+WORK="$(mktemp -d)"
+JOBS="$WORK/jobs"
+CACHE="$WORK/cache"
+mkdir -p "$JOBS" "$CACHE"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$SERVE_CLI" --drop-dir "$JOBS" --cache-dir "$CACHE" --poll-ms 10 &
+DAEMON_PID=$!
+
+BENCHMARKS=(s1196 s1238 s1423 s1488)
+STYLES=(ff ms 3p)
+TYPES=(convert power_eval)
+
+# drop STEM LINE — atomic job-file publish (write elsewhere, rename in).
+drop() {
+  printf '%s\n' "$2" > "$JOBS/$1.tmp"
+  mv "$JOBS/$1.tmp" "$JOBS/$1.job"
+}
+
+# job INDEX UNIQUE — one request line; UNIQUE picks the computation.
+job() {
+  local u="$2"
+  local bench="${BENCHMARKS[$((u % ${#BENCHMARKS[@]}))]}"
+  local style="${STYLES[$(((u / ${#BENCHMARKS[@]}) % ${#STYLES[@]}))]}"
+  local type="${TYPES[$((u % ${#TYPES[@]}))]}"
+  printf '{"id":"j%s","type":"%s","benchmark":"%s","style":"%s","preset":"fast","cycles":12,"seed":%s}' \
+    "$1" "$type" "$bench" "$style" "$((100 + u))"
+}
+
+# wait_results COUNT — until that many .result files exist.
+wait_results() {
+  for _ in $(seq 1 600); do
+    local have
+    have=$(ls "$JOBS" 2>/dev/null | grep -c '\.result$' || true)
+    [ "$have" -ge "$1" ] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || { echo "FAIL: daemon died"; exit 1; }
+    sleep 0.1
+  done
+  echo "FAIL: timed out waiting for $1 results"; exit 1
+}
+
+UNIQUE=100
+echo "pushing $UNIQUE unique jobs..."
+for i in $(seq 0 $((UNIQUE - 1))); do
+  drop "u$i" "$(job "u$i" "$i")"
+done
+wait_results "$UNIQUE"
+
+echo "pushing $UNIQUE repeat jobs..."
+for i in $(seq 0 $((UNIQUE - 1))); do
+  drop "r$i" "$(job "r$i" "$i")"
+done
+wait_results $((2 * UNIQUE))
+
+FAILED=$(grep -l '"ok":false' "$JOBS"/*.result | wc -l || true)
+if [ "$FAILED" -ne 0 ]; then
+  echo "FAIL: $FAILED job(s) reported ok:false"
+  grep -l '"ok":false' "$JOBS"/*.result | head
+  exit 1
+fi
+
+drop status '{"id":"status","type":"status"}'
+wait_results $((2 * UNIQUE + 1))
+STATUS=$(cat "$JOBS/status.result")
+echo "status: $STATUS"
+HITS=$(sed -n 's/.*"cache":{"memory_hits":\([0-9]*\),"disk_hits":\([0-9]*\).*/\1 \2/p' <<< "$STATUS")
+TOTAL_HITS=$(( $(cut -d' ' -f1 <<< "$HITS") + $(cut -d' ' -f2 <<< "$HITS") ))
+if [ "$TOTAL_HITS" -lt $((UNIQUE / 2)) ]; then
+  echo "FAIL: only $TOTAL_HITS cache hits on $UNIQUE repeated jobs (<50%)"
+  exit 1
+fi
+echo "cache hits on repeat half: $TOTAL_HITS/$UNIQUE"
+
+drop quit '{"id":"quit","type":"shutdown"}'
+RC=0
+wait "$DAEMON_PID" || RC=$?
+if [ "$RC" -ne 0 ]; then
+  echo "FAIL: daemon exited $RC after shutdown job (want 0)"
+  exit 1
+fi
+DAEMON_PID=""
+trap 'rm -rf "$WORK"' EXIT
+
+[ -n "$(ls -A "$CACHE")" ] || { echo "FAIL: cache dir empty"; exit 1; }
+echo "serve smoke OK: $((2 * UNIQUE)) jobs, $TOTAL_HITS cache hits, clean shutdown"

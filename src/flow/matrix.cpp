@@ -4,40 +4,22 @@
 #include <utility>
 
 #include "src/util/executor.hpp"
+#include "src/util/hash.hpp"
 #include "src/util/log.hpp"
+#include "src/util/strcat.hpp"
 
 namespace tp::flow {
-namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t fnv1a(std::string_view text) {
-  std::uint64_t hash = kFnvOffset;
-  for (const char c : text) {
-    hash ^= static_cast<std::uint8_t>(c);
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
-
-/// splitmix64 finalizer (Steele et al.): bijective avalanche mix.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
+using util::fnv1a;
+using util::splitmix64;
 
 std::uint64_t task_seed(std::uint64_t base, std::string_view benchmark) {
-  return mix(base ^ mix(fnv1a(benchmark)));
+  return splitmix64(base ^ splitmix64(fnv1a(benchmark)));
 }
 
 std::uint64_t lane_seed(std::uint64_t task_seed, std::size_t lane) {
   if (lane == 0) return task_seed;  // one-lane plans match the old engine
-  return mix(task_seed ^ mix(lane));
+  return splitmix64(task_seed ^ splitmix64(lane));
 }
 
 std::vector<MatrixTask> RunPlan::tasks() const {
@@ -62,20 +44,31 @@ MatrixResult run_task(const RunPlan& plan, const MatrixTask& task) {
   require(plan.lanes >= 1 && plan.lanes <= kMaxSimLanes,
           "run_task: RunPlan::lanes must be in [1, 64]");
   Stopwatch watch;
-  const circuits::Benchmark bench = circuits::make_benchmark(task.benchmark);
-  // The cycle budget is split across lanes (rounded up), each lane with
-  // its own derived seed; lane 0 of a 1-lane plan is exactly the old
-  // single-stimulus task.
-  const std::size_t per_lane = (plan.cycles + plan.lanes - 1) / plan.lanes;
-  std::vector<Stimulus> stimuli;
-  stimuli.reserve(plan.lanes);
-  for (std::size_t l = 0; l < plan.lanes; ++l) {
-    stimuli.push_back(circuits::make_stimulus(bench, plan.workload, per_lane,
-                                              lane_seed(task.seed, l)));
-  }
   MatrixResult out;
   out.task = task;
-  out.result = run_flow(bench, task.style, stimuli, plan.options);
+  try {
+    if (plan.cancel != nullptr &&
+        plan.cancel->load(std::memory_order_relaxed)) {
+      throw Error("canceled before start");
+    }
+    const circuits::Benchmark bench =
+        circuits::make_benchmark(task.benchmark);
+    // The cycle budget is split across lanes (rounded up), each lane with
+    // its own derived seed; lane 0 of a 1-lane plan is exactly the old
+    // single-stimulus task.
+    const std::size_t per_lane =
+        (plan.cycles + plan.lanes - 1) / plan.lanes;
+    std::vector<Stimulus> stimuli;
+    stimuli.reserve(plan.lanes);
+    for (std::size_t l = 0; l < plan.lanes; ++l) {
+      stimuli.push_back(circuits::make_stimulus(
+          bench, plan.workload, per_lane, lane_seed(task.seed, l)));
+    }
+    out.result = run_flow(bench, task.style, stimuli, plan.options);
+  } catch (const std::exception& e) {
+    out.error = cat("task ", task.index, " (", task.benchmark, "/",
+                    style_name(task.style), "): ", e.what());
+  }
   out.seconds = watch.seconds();
   return out;
 }
@@ -96,9 +89,11 @@ std::vector<MatrixResult> run_matrix(const RunPlan& plan,
   }
   std::vector<MatrixResult> results;
   results.reserve(tasks.size());
-  // Join every future even if one throws — queued lambdas reference
-  // parallel_plan, which must outlive them. The first failing task in
-  // plan order is rethrown once all tasks have settled.
+  // Flow failures are captured per-task inside run_task; only plan-level
+  // misuse (the lanes precondition) still surfaces as an exception. Join
+  // every future even then — queued lambdas reference parallel_plan, which
+  // must outlive them — and rethrow the first failure in plan order once
+  // all tasks have settled.
   std::exception_ptr first_error;
   for (std::future<MatrixResult>& future : futures) {
     try {
@@ -154,16 +149,7 @@ std::vector<std::vector<MatrixResult>> run_matrices(
 }
 
 std::uint64_t stream_hash(const OutputStream& stream) {
-  std::uint64_t hash = kFnvOffset;
-  for (const auto& row : stream) {
-    hash ^= row.size();
-    hash *= kFnvPrime;
-    for (const std::uint8_t bit : row) {
-      hash ^= bit;
-      hash *= kFnvPrime;
-    }
-  }
-  return hash;
+  return util::stream_hash(stream);
 }
 
 }  // namespace tp::flow

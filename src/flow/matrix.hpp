@@ -16,6 +16,7 @@
 // (metrics, netlists, output streams). Only the wall-clock StepTimes vary.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -76,6 +77,13 @@ struct RunPlan {
   /// reproducibility key.
   std::size_t lanes = 1;
 
+  /// Optional cooperative-cancellation flag (not owned). When it reads
+  /// true, tasks that have not started yet fail fast with a "canceled"
+  /// MatrixResult::error instead of running — already-running tasks finish
+  /// normally, so a wave drains instead of aborting. The serve daemon and
+  /// the CLIs wire their SIGINT/SIGTERM flag here.
+  const std::atomic<bool>* cancel = nullptr;
+
   /// Expands the grid into per-task descriptors in plan order.
   [[nodiscard]] std::vector<MatrixTask> tasks() const;
 };
@@ -84,16 +92,25 @@ struct MatrixResult {
   MatrixTask task;
   FlowResult result;
   double seconds = 0;  // wall-clock of this task alone
+  /// Empty on success; otherwise the task's failure diagnostic, prefixed
+  /// with the benchmark/style context. A failed task carries a
+  /// default-constructed FlowResult — one poisoned cell degrades that cell
+  /// only, never the wave (the daemon's per-request error contract).
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
 /// Runs one cell (exposed so serial reference loops share the exact code
-/// path of the parallel engine).
+/// path of the parallel engine). Exceptions thrown inside the flow are
+/// captured into MatrixResult::error with task context; only plan-level
+/// misuse (an out-of-range lane count) still throws.
 MatrixResult run_task(const RunPlan& plan, const MatrixTask& task);
 
 /// Executes every task of `plan` on `executor` and returns results in
 /// plan order. Per-stage SEC / lint checkpoints inside each run_flow()
-/// fan out onto the same executor. Task exceptions propagate to the
-/// caller (the first failing task in plan order wins).
+/// fan out onto the same executor. A failing task is reported through its
+/// MatrixResult::error — the rest of the wave completes unaffected.
 std::vector<MatrixResult> run_matrix(const RunPlan& plan,
                                      util::Executor& executor);
 

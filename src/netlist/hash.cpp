@@ -1,0 +1,65 @@
+#include "src/netlist/hash.hpp"
+
+#include "src/util/hash.hpp"
+
+namespace tp {
+namespace {
+
+using util::fnv1a;
+using util::hash_combine;
+using util::splitmix64;
+
+std::uint64_t net_name_hash(const Netlist& netlist, NetId net) {
+  if (!net.valid()) return splitmix64(0x6e6f6e65);  // "none"
+  return fnv1a(netlist.net(net).name);
+}
+
+std::uint64_t cell_record_hash(const Netlist& netlist, const Cell& cell) {
+  std::uint64_t h = fnv1a(cell_kind_name(cell.kind));
+  h = hash_combine(h, static_cast<std::uint64_t>(cell.phase));
+  h = hash_combine(h, cell.init);
+  h = hash_combine(h, fnv1a(cell.name));
+  h = hash_combine(h, net_name_hash(netlist, cell.out));
+  for (const NetId in : cell.ins) {
+    h = hash_combine(h, net_name_hash(netlist, in));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t netlist_hash(const Netlist& netlist) {
+  // Commutative fold over live cells: insertion order must not matter.
+  std::uint64_t sum = 0;
+  std::uint64_t xored = 0;
+  std::uint64_t live = 0;
+  for (const CellId id : netlist.live_cells()) {
+    const std::uint64_t record =
+        splitmix64(cell_record_hash(netlist, netlist.cell(id)));
+    sum += record;
+    xored ^= record;
+    ++live;
+  }
+  std::uint64_t h = hash_combine(hash_combine(sum, xored), live);
+
+  // Ordered parts: the PI/PO registration order defines the stimulus and
+  // output-stream layout, so it is content.
+  for (const CellId id : netlist.inputs()) {
+    h = hash_combine(h, fnv1a(netlist.cell(id).name));
+  }
+  for (const CellId id : netlist.outputs()) {
+    h = hash_combine(h, fnv1a(netlist.cell(id).name));
+  }
+
+  const ClockSpec& clocks = netlist.clocks();
+  h = hash_combine(h, static_cast<std::uint64_t>(clocks.period_ps));
+  for (const PhaseWaveform& wave : clocks.phases) {
+    h = hash_combine(h, static_cast<std::uint64_t>(wave.phase));
+    h = hash_combine(h, net_name_hash(netlist, wave.root));
+    h = hash_combine(h, static_cast<std::uint64_t>(wave.rise_ps));
+    h = hash_combine(h, static_cast<std::uint64_t>(wave.fall_ps));
+  }
+  return splitmix64(h);
+}
+
+}  // namespace tp

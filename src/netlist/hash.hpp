@@ -1,0 +1,29 @@
+// Canonical netlist content hash.
+//
+// netlist_hash() fingerprints a design's structure — cells with their
+// kinds, phases, init values and net connectivity, the PI/PO interface
+// order, and the clock spec — such that two netlists describing the same
+// design hash equal regardless of the order cells and nets were inserted.
+// Cells reference nets by *name* (names are the stable identity; ids
+// encode insertion history), per-cell records are hashed independently,
+// and the records are folded with commutative accumulators (sum and xor)
+// before a final avalanche mix. Dead cells and nets are excluded, so a
+// remove_cell() round trip does not change the hash.
+//
+// This is the content-addressing root of the serve cache
+// (src/serve/cache.hpp): a cache key embeds netlist_hash(benchmark), so
+// any change to a benchmark generator automatically invalidates every
+// cached result computed from the old structure. The design name is
+// deliberately excluded — identical structures under different names are
+// the same content.
+#pragma once
+
+#include <cstdint>
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+std::uint64_t netlist_hash(const Netlist& netlist);
+
+}  // namespace tp

@@ -1,0 +1,218 @@
+#include "src/serve/cache.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "src/flow/serialize.hpp"
+#include "src/util/hash.hpp"
+#include "src/util/log.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::serve {
+namespace {
+
+using util::fnv1a;
+using util::hash_combine;
+
+// Disk entry layout (text header, then raw payload bytes):
+//   TPCACHE <version>\n
+//   <digest-hex> <payload-bytes>\n
+//   <payload>
+constexpr std::string_view kMagic = "TPCACHE";
+
+std::uint64_t key_fold(const CacheKey& key, std::uint64_t seed) {
+  std::uint64_t h = hash_combine(seed, kCacheFormatVersion);
+  h = hash_combine(h, key.netlist_hash);
+  h = hash_combine(h, static_cast<std::uint64_t>(key.style));
+  h = hash_combine(h, key.options_hash);
+  h = hash_combine(h, fnv1a(key.workload));
+  h = hash_combine(h, key.cycles);
+  h = hash_combine(h, key.seed);
+  h = hash_combine(h, key.lanes);
+  return h;
+}
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> CacheKey::digest() const {
+  // Two passes with independent seeds: 128 bits make accidental digest
+  // collisions across a persistent, shared cache directory negligible.
+  return {key_fold(*this, 0x74706361636865ULL),
+          key_fold(*this, 0x32707633706877ULL)};
+}
+
+std::string CacheKey::digest_hex() const {
+  const auto [hi, lo] = digest();
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+ResultCache::ResultCache(CacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.memory_entries == 0) options_.memory_entries = 1;
+  if (!options_.dir.empty()) {
+    ::mkdir(options_.dir.c_str(), 0755);  // EEXIST is fine
+  }
+}
+
+ResultCache::~ResultCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+std::string ResultCache::file_path(const std::string& hex) const {
+  return cat(options_.dir, "/", hex, ".tpc");
+}
+
+std::optional<std::string> ResultCache::get(const CacheKey& key) {
+  const auto digest = key.digest();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(digest);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    ++stats_.memory_hits;
+    stats_.bytes_served += it->second->payload.size();
+    return it->second->payload;
+  }
+  if (!options_.dir.empty()) {
+    const std::string hex = key.digest_hex();
+    std::optional<std::string> payload = read_disk(hex);
+    if (payload.has_value()) {
+      ++stats_.disk_hits;
+      stats_.bytes_served += payload->size();
+      // Promote to memory, already clean (it came from disk).
+      lru_.push_front(Entry{digest, hex, *payload, /*dirty=*/false});
+      index_[digest] = lru_.begin();
+      evict_excess();
+      return payload;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(const CacheKey& key, std::string payload) {
+  const auto digest = key.digest();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.insertions;
+  stats_.bytes_stored += payload.size();
+  auto it = index_.find(digest);
+  if (it != index_.end()) {
+    if (!it->second->dirty) ++dirty_count_;
+    it->second->payload = std::move(payload);
+    it->second->dirty = true;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(
+        Entry{digest, key.digest_hex(), std::move(payload), /*dirty=*/true});
+    index_[digest] = lru_.begin();
+    ++dirty_count_;
+    evict_excess();
+  }
+  if (dirty_count_ >= options_.flush_threshold) flush_locked();
+}
+
+void ResultCache::evict_excess() {
+  while (lru_.size() > options_.memory_entries) {
+    Entry& victim = lru_.back();
+    if (victim.dirty) {
+      write_entry(victim);  // never drop an unpersisted result
+      --dirty_count_;
+    }
+    index_.erase(victim.digest);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void ResultCache::flush_locked() {
+  if (dirty_count_ == 0) return;
+  for (Entry& entry : lru_) {
+    if (!entry.dirty) continue;
+    write_entry(entry);
+    entry.dirty = false;
+  }
+  dirty_count_ = 0;
+}
+
+void ResultCache::write_entry(const Entry& entry) {
+  if (options_.dir.empty()) return;
+  const std::string path = file_path(entry.hex);
+  const std::string tmp = cat(path, ".tmp");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    log_warn(cat("cache: cannot write ", tmp));
+    return;
+  }
+  std::fprintf(f, "%s %u\n%s %zu\n", std::string(kMagic).c_str(),
+               kCacheFormatVersion, entry.hex.c_str(),
+               entry.payload.size());
+  std::fwrite(entry.payload.data(), 1, entry.payload.size(), f);
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  // Atomic publish: readers only ever see a complete file or none.
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    log_warn(cat("cache: failed to publish ", path));
+    return;
+  }
+  ++stats_.files_written;
+}
+
+std::optional<std::string> ResultCache::read_disk(const std::string& hex) {
+  const std::string path = file_path(hex);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;  // plain miss, not corruption
+
+  const auto reject = [&]() -> std::optional<std::string> {
+    std::fclose(f);
+    std::remove(path.c_str());
+    ++stats_.rejected;
+    return std::nullopt;
+  };
+
+  char magic[16];
+  unsigned version = 0;
+  if (std::fscanf(f, "%15s %u\n", magic, &version) != 2 ||
+      kMagic != magic || version != kCacheFormatVersion) {
+    return reject();
+  }
+  char stored_hex[40];
+  std::size_t size = 0;
+  if (std::fscanf(f, "%39s %zu", stored_hex, &size) != 2 ||
+      hex != stored_hex || std::fgetc(f) != '\n') {
+    return reject();
+  }
+  // Arbitrary sanity bound: a matrix-sweep payload is tens of KB; anything
+  // in the hundreds of MB is a damaged length field.
+  if (size > (128u << 20)) return reject();
+  std::string payload(size, '\0');
+  if (std::fread(payload.data(), 1, size, f) != size ||
+      std::fgetc(f) != EOF) {
+    return reject();  // truncated or trailing garbage
+  }
+  std::fclose(f);
+  return payload;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::memory_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace tp::serve

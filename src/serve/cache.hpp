@@ -1,0 +1,143 @@
+// Content-addressed result cache: the heart of conversion-as-a-service.
+//
+// The flow is deterministic for any thread count, lane count, and seed
+// (docs/parallelism.md), so a conversion/power-eval result is a pure
+// function of its request tuple. CacheKey captures that tuple — canonical
+// netlist hash (src/netlist/hash.hpp), design style, options hash
+// (flow::options_hash), workload, cycle budget, base seed, lane count —
+// and digests it into a 128-bit content address. The cached value is the
+// serialized result payload (flow::result_payload_json), so a hit serves
+// bytes identical to recomputing the request fresh.
+//
+// Two tiers:
+//  - memory: an LRU map capped at CacheOptions::memory_entries;
+//  - disk (optional): one file per entry under CacheOptions::dir, written
+//    with a versioned header via write-to-temp + atomic rename, so a
+//    killed daemon never leaves a torn entry behind. Writes are
+//    write-behind — put() marks the entry dirty and flush() persists it —
+//    with an automatic flush when enough dirty entries accumulate and a
+//    forced flush before a dirty entry is evicted from memory.
+//
+// Stale or damaged disk entries (wrong magic, old format version, digest
+// mismatch, truncation) are rejected, counted, and deleted on read.
+// Thread-safe; every operation takes one internal mutex (the payloads are
+// small next to the seconds-long flow runs the cache is fronting).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/flow/flow.hpp"
+
+namespace tp::serve {
+
+/// Bump when the payload schema or digest recipe changes: old cache files
+/// are then rejected (and deleted) instead of served.
+inline constexpr std::uint32_t kCacheFormatVersion = 1;
+
+struct CacheKey {
+  std::uint64_t netlist_hash = 0;  // canonical content hash of the design
+  flow::DesignStyle style = flow::DesignStyle::kFlipFlop;
+  std::uint64_t options_hash = 0;  // flow::options_hash of the FlowOptions
+  std::string workload;            // canonical workload name
+  std::uint64_t cycles = 0;
+  std::uint64_t seed = 0;          // base stimulus seed
+  std::uint64_t lanes = 1;
+
+  /// 128-bit content address (two independently-mixed 64-bit words) over
+  /// every field plus kCacheFormatVersion.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> digest() const;
+  /// 32 lowercase hex chars of digest(); the disk file stem.
+  [[nodiscard]] std::string digest_hex() const;
+};
+
+struct CacheStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;   // found on disk, promoted to memory
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;   // memory-tier LRU evictions
+  std::uint64_t rejected = 0;    // corrupt/stale disk entries deleted
+  std::uint64_t files_written = 0;
+  std::uint64_t bytes_served = 0;
+  std::uint64_t bytes_stored = 0;
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return memory_hits + disk_hits;
+  }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits() + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits()) / total;
+  }
+};
+
+struct CacheOptions {
+  /// Disk tier directory; empty disables the disk tier. Created on
+  /// demand (one level).
+  std::string dir;
+  /// Memory-tier capacity in entries (min 1).
+  std::size_t memory_entries = 1024;
+  /// Auto-flush the write-behind queue when this many entries are dirty.
+  std::size_t flush_threshold = 64;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheOptions options);
+  ~ResultCache();  // flushes dirty entries
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Memory tier first, then disk; a disk hit is promoted to memory.
+  /// std::nullopt on miss.
+  std::optional<std::string> get(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry. Dirty until the next flush().
+  void put(const CacheKey& key, std::string payload);
+
+  /// Persists every dirty entry to the disk tier (no-op without one).
+  void flush();
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t memory_size() const;
+  [[nodiscard]] const CacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::pair<std::uint64_t, std::uint64_t> digest;
+    std::string hex;
+    std::string payload;
+    bool dirty = false;
+  };
+  using LruList = std::list<Entry>;
+
+  struct DigestHash {
+    std::size_t operator()(
+        const std::pair<std::uint64_t, std::uint64_t>& d) const {
+      return static_cast<std::size_t>(d.first ^ (d.second * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  // All private helpers expect mutex_ held.
+  void evict_excess();
+  void write_entry(const Entry& entry);
+  std::optional<std::string> read_disk(const std::string& hex);
+  [[nodiscard]] std::string file_path(const std::string& hex) const;
+  void flush_locked();
+
+  CacheOptions options_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
+                     LruList::iterator, DigestHash>
+      index_;
+  std::size_t dirty_count_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace tp::serve

@@ -1,0 +1,29 @@
+#include "src/util/hash.hpp"
+
+namespace tp::util {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                    std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t stream_hash(
+    const std::vector<std::vector<std::uint8_t>>& rows) {
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& row : rows) {
+    hash ^= row.size();
+    hash *= kFnvPrime;
+    for (const std::uint8_t bit : row) {
+      hash ^= bit;
+      hash *= kFnvPrime;
+    }
+  }
+  return hash;
+}
+
+}  // namespace tp::util

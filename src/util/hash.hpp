@@ -1,0 +1,59 @@
+// Shared non-cryptographic hashing: FNV-1a, splitmix64 mixing, and the
+// stream fingerprint the determinism gates compare.
+//
+// Every digest in the project routes through these helpers so that task
+// seeding (src/flow/matrix.cpp), the canonical netlist hash
+// (src/netlist/hash.hpp), and the content-addressed result cache
+// (src/serve/cache.hpp) agree on one stable, platform-independent hash
+// family — no std::hash anywhere, its values are implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace tp::util {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over text, continuing from `seed` so hashes can be chained:
+/// fnv1a("ab") == fnv1a("b", fnv1a("a")).
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::string_view text, std::uint64_t seed = kFnvOffset) {
+  std::uint64_t hash = seed;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// FNV-1a over raw bytes, same chaining rule.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                                  std::uint64_t seed = kFnvOffset);
+
+/// splitmix64 finalizer (Steele et al.): bijective avalanche mix.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combine: folds `value` into `seed` with full avalanche,
+/// so hash_combine(hash_combine(s, a), b) != hash_combine(hash_combine(s,
+/// b), a) in general.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) {
+  return splitmix64(seed ^ splitmix64(value));
+}
+
+/// FNV-1a fingerprint of a rows-of-bytes stream; both the row shape and
+/// every byte are significant. flow::stream_hash delegates here, and the
+/// serve cache uses it for payload checksums.
+[[nodiscard]] std::uint64_t stream_hash(
+    const std::vector<std::vector<std::uint8_t>>& rows);
+
+}  // namespace tp::util

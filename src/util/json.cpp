@@ -1,0 +1,395 @@
+#include "src/util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/strcat.hpp"
+
+namespace tp::util {
+namespace {
+
+/// Nesting bound: a drop-directory daemon must shrug off "[[[[[..." without
+/// exhausting the stack.
+constexpr int kMaxDepth = 64;
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_utf8(std::string& out, unsigned codepoint) {
+  if (codepoint < 0x80) {
+    out += static_cast<char>(codepoint);
+  } else if (codepoint < 0x800) {
+    out += static_cast<char>(0xc0 | (codepoint >> 6));
+    out += static_cast<char>(0x80 | (codepoint & 0x3f));
+  } else {
+    out += static_cast<char>(0xe0 | (codepoint >> 12));
+    out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (codepoint & 0x3f));
+  }
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool run(Json* out, std::string* error) {
+    skip_space();
+    if (!parse_value(out, 0)) {
+      if (error) *error = cat("json: ", error_, " at offset ", pos_);
+      return false;
+    }
+    skip_space();
+    if (pos_ != text_.size()) {
+      if (error) *error = cat("json: trailing garbage at offset ", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string_view what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out->type_ = Json::Type::kString;
+        return parse_string(&out->string_);
+      case 't':
+        out->type_ = Json::Type::kBool;
+        out->bool_ = true;
+        return literal("true");
+      case 'f':
+        out->type_ = Json::Type::kBool;
+        out->bool_ = false;
+        return literal("false");
+      case 'n':
+        out->type_ = Json::Type::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Json* out, int depth) {
+    out->type_ = Json::Type::kObject;
+    ++pos_;  // '{'
+    skip_space();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_space();
+      if (at_end() || peek() != '"') return fail("expected member key");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_space();
+      if (at_end() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_space();
+      Json value;
+      if (!parse_value(&value, depth + 1)) return false;
+      if (out->find(key) == nullptr) {
+        out->members_.emplace_back(std::move(key), std::move(value));
+      }
+      skip_space();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Json* out, int depth) {
+    out->type_ = Json::Type::kArray;
+    ++pos_;  // '['
+    skip_space();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_space();
+      Json value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->items_.push_back(std::move(value));
+      skip_space();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned codepoint = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            codepoint <<= 4;
+            if (h >= '0' && h <= '9') codepoint |= h - '0';
+            else if (h >= 'a' && h <= 'f') codepoint |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') codepoint |= h - 'A' + 10;
+            else return fail("bad \\u escape");
+          }
+          append_utf8(*out, codepoint);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out->type_ = Json::Type::kNumber;
+    out->number_ = value;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool Json::parse(std::string_view text, Json* out, std::string* error) {
+  *out = Json();
+  return JsonParser(text).run(out, error);
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string Json::get_string(std::string_view key,
+                             std::string_view fallback) const {
+  const Json* member = find(key);
+  if (member == nullptr || !member->is_string()) {
+    return std::string(fallback);
+  }
+  return member->as_string();
+}
+
+std::uint64_t Json::get_u64(std::string_view key,
+                            std::uint64_t fallback) const {
+  const Json* member = find(key);
+  if (member == nullptr || !member->is_number()) return fallback;
+  const double n = member->as_number();
+  if (n < 0) return fallback;
+  return static_cast<std::uint64_t>(n);
+}
+
+bool Json::get_bool(std::string_view key, bool fallback) const {
+  const Json* member = find(key);
+  if (member == nullptr || !member->is_bool()) return fallback;
+  return member->as_bool();
+}
+
+// --- JsonWriter -----------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes the "key": pair, no comma
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma();
+  out_ += '"';
+  append_escaped(out_, name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma();
+  out_ += '"';
+  append_escaped(out_, text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t n) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t n) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(n));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped(out, text);
+  return out;
+}
+
+}  // namespace tp::util

@@ -1,0 +1,110 @@
+// Minimal hand-rolled JSON: a recursive-descent reader and a streaming
+// writer, shared by the serving protocol (src/serve/protocol.hpp) and the
+// bench emitters. No external dependency, no DOM mutation — parse into an
+// immutable Json value, or build output through JsonWriter.
+//
+// Reader guarantees the daemon's robustness contract: any malformed input
+// (bad syntax, unterminated strings, absurd nesting) is a clean parse
+// error, never a crash or an uncaught exception. Numbers are doubles;
+// object member order is preserved; duplicate keys keep the first.
+//
+// Writer guarantees the cache's byte-identity contract: the same values
+// written in the same order produce the same bytes, with doubles printed
+// via "%.17g" (shortest round-trip-exact form on this toolchain).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tp::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (surrounding whitespace allowed, trailing
+  /// garbage rejected). Returns false and sets *error on malformed input.
+  static bool parse(std::string_view text, Json* out, std::string* error);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  // Typed member accessors with defaults — the protocol's fields are all
+  // optional-with-default, so misuse degrades to the default, not a throw.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Append-only JSON builder. Keys and values must alternate correctly
+/// inside objects; the writer inserts commas itself. No validation beyond
+/// that — it is a formatting tool, not a schema checker.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key (quoted + escaped).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);  // quoted + escaped
+  JsonWriter& value(const char* text);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(std::uint64_t n);
+  JsonWriter& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  JsonWriter& value(double d);  // "%.17g", round-trip exact
+  JsonWriter& null();
+
+  /// Splices pre-serialized JSON verbatim (e.g. a cached payload).
+  JsonWriter& raw(std::string_view json);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<bool> first_;     // per open scope: no element emitted yet
+  bool pending_key_ = false;    // a key was just written; next is its value
+};
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view text);
+
+}  // namespace tp::util

@@ -341,11 +341,33 @@ TEST(RunMatrix, RepeatedParallelRunsAreIdentical) {
   }
 }
 
-TEST(RunMatrix, UnknownBenchmarkPropagatesError) {
+TEST(RunMatrix, UnknownBenchmarkIsCapturedPerTask) {
+  // A failing task must not poison the wave: its error lands in
+  // MatrixResult::error while every other cell completes normally.
   RunPlan plan;
-  plan.benchmarks = {"no-such-circuit"};
+  plan.benchmarks = {"no-such-circuit", "s1238"};
+  plan.styles = {DesignStyle::kThreePhase};
+  plan.cycles = 48;
   util::Executor executor(2);
-  EXPECT_THROW(run_matrix(plan, executor), Error);
+  const std::vector<MatrixResult> results = run_matrix(plan, executor);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_NE(results[0].error.find("no-such-circuit"), std::string::npos);
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_GT(results[1].result.registers, 0);
+}
+
+TEST(RunMatrix, CancelFlagFailsQueuedTasksFast) {
+  std::atomic<bool> stop{true};  // pre-set: every task sees it before start
+  RunPlan plan;
+  plan.benchmarks = {"s1238"};
+  plan.styles = {DesignStyle::kThreePhase};
+  plan.cancel = &stop;
+  util::Executor executor(2);
+  const std::vector<MatrixResult> results = run_matrix(plan, executor);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_NE(results[0].error.find("canceled"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
