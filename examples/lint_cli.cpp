@@ -7,6 +7,8 @@
 //   $ ./examples/lint_cli --circuit s5378 --style 3p
 //   $ ./examples/lint_cli --in mydesign.v --json
 //   $ ./examples/lint_cli --circuit DES3 --style 3p --stages
+//   $ ./examples/lint_cli --circuit s5378 --style 3p --analysis
+//   $ ./examples/lint_cli --in mydesign.v --analysis --x-source rst
 //   $ ./examples/lint_cli --circuit MD5 --style 3p --baseline waivers.txt
 //   $ ./examples/lint_cli --list-rules
 //
@@ -16,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "src/analysis/analysis.hpp"
 #include "src/circuits/workload.hpp"
 #include "src/flow/flow.hpp"
 #include "src/netlist/verilog.hpp"
@@ -42,8 +45,10 @@ int main(int argc, char** argv) {
   std::string style_text = "raw";
   std::vector<std::string> disabled;
   bool json = false, quiet = false, stages = false, rules = false;
+  bool analysis = false;
   std::size_t cycles = 192;
   check::CheckOptions check_options;
+  analysis::AnalysisOptions analysis_options;
 
   util::ArgParser parser(
       "lint_cli", "run the static phase-rule checker on a benchmark, a "
@@ -59,6 +64,15 @@ int main(int argc, char** argv) {
   parser.add_flag("--stages", &stages,
                   "rule-check after every flow stage and blame the first "
                   "offending stage (non-raw styles only)");
+  parser.add_flag("--analysis", &analysis,
+                  "also run the dataflow analyses (A1 X-propagation, A2 "
+                  "min-delay races, A3 borrowing chains)");
+  parser.add_list("--x-source", &analysis_options.x_sources,
+                  "treat this input or register as post-reset X for A1 "
+                  "(repeatable)", "NAME");
+  parser.add_value("--borrow-budget", &analysis_options.borrow_budget_ps,
+                   "A3 cumulative borrow budget in ps (default: one phase "
+                   "segment)", "PS");
   parser.add_flag("--json", &json,
                   "emit one JSON report object instead of text");
   parser.add_value("--waivers", &waiver_file,
@@ -110,10 +124,14 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    analysis_options.check = check_options;
     check::CheckReport report;
     RuleChecks stage_reports;
     if (style_text == "raw") {
       report = check::run_checks(bench.netlist, check_options);
+      if (analysis) {
+        report.merge(analysis::run_analysis(bench.netlist, analysis_options));
+      }
     } else {
       DesignStyle style;
       if (style_text == "ff") {
@@ -130,6 +148,8 @@ int main(int argc, char** argv) {
       FlowOptions options;
       options.lint = check_options;
       options.check_rules = stages;
+      options.check_analysis = stages && analysis;
+      options.borrow_budget_ps = analysis_options.borrow_budget_ps;
       const Stimulus stim = circuits::make_stimulus(
           bench, circuits::Workload::kPaperDefault, cycles, 7);
       FlowResult result = run_flow(bench, style, stim, options);
@@ -138,6 +158,10 @@ int main(int argc, char** argv) {
       // lint DDCG cap to its own configuration; standalone linting keeps
       // the caller's cap).
       report = check::run_checks(result.netlist, check_options);
+      if (analysis) {
+        report.merge(
+            analysis::run_analysis(result.netlist, analysis_options));
+      }
     }
 
     if (!baseline_file.empty()) {

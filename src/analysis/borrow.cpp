@@ -1,0 +1,129 @@
+// A3: borrowing-chain analysis.
+//
+// timing::borrow_profile() walks the STA latest-arrival fixpoint and
+// reports, per register, the capture-frame arrival, the borrow it implies
+// beyond the window open, and the critical-path launching register. This
+// analysis follows those upstream pointers while the launcher itself
+// borrows, accumulating the chain's total borrow; a chain whose cumulative
+// borrow exceeds the budget (default: one full phase segment) has silently
+// spent a whole stage of the schedule and is one retiming slip away from a
+// setup wall. Only the maximal chain end is reported — every suffix of an
+// over-budget chain is over budget too. Chains of a single register are
+// exempt: a lone latch's borrow is capped at its own window width, and
+// exhausting it is a plain setup failure the STA signoff already reports,
+// not the cross-stage accumulation this analysis exists to catch.
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/analysis.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::analysis {
+
+void rule_borrow_chain(check::RuleContext& ctx,
+                       const AnalysisOptions& options) {
+  const Netlist& nl = ctx.netlist();
+  const std::int64_t period = nl.clocks().period_ps;
+  if (period <= 0) return;
+  const std::vector<CellId> registers = nl.registers();
+  if (registers.empty()) return;
+  bool any_latch = false;
+  for (const CellId id : registers) {
+    if (nl.clocks().find(nl.cell(id).phase) == nullptr) return;
+    const CellKind kind = nl.cell(id).kind;
+    any_latch = any_latch || kind == CellKind::kLatchH ||
+                kind == CellKind::kLatchL || kind == CellKind::kLatchP;
+  }
+  // Flip-flops sample on an edge and cannot borrow; an all-FF netlist
+  // (the FF baseline flow, or any pre-conversion checkpoint) never has a
+  // chain, so skip the arrival fixpoint.
+  if (!any_latch) return;
+
+  const CellLibrary& library = analysis_library(options);
+  const std::vector<BorrowRecord> records =
+      borrow_profile(nl, library, options.timing);
+
+  double budget_ps = options.borrow_budget_ps;
+  if (budget_ps < 0) {
+    const auto phases =
+        std::max<std::size_t>(1, nl.clocks().phases.size());
+    budget_ps = static_cast<double>(period) / static_cast<double>(phases);
+  }
+
+  std::vector<int> record_of(nl.num_cells(), -1);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    record_of[records[i].cell.value()] = static_cast<int>(i);
+  }
+
+  // Walk each borrowing register's upstream chain; collect cumulative
+  // borrow. Chains can revisit a register through latch feedback loops —
+  // the epoch mark stops the walk at the first repeat.
+  struct Chain {
+    double total_ps = 0;
+    std::vector<std::string> cells;  // launch-to-capture order
+    std::vector<double> borrows_ps;
+  };
+  std::vector<std::uint32_t> mark(nl.num_cells(), 0);
+  std::uint32_t epoch = 0;
+  const auto chain_of = [&](int start) {
+    Chain chain;
+    ++epoch;
+    int at = start;
+    while (at >= 0) {
+      const BorrowRecord& rec = records[static_cast<std::size_t>(at)];
+      if (mark[rec.cell.value()] == epoch) break;
+      mark[rec.cell.value()] = epoch;
+      chain.total_ps += rec.borrow_ps;
+      chain.cells.push_back(nl.cell(rec.cell).name);
+      chain.borrows_ps.push_back(rec.borrow_ps);
+      if (!rec.upstream.valid()) break;
+      const int up = record_of[rec.upstream.value()];
+      if (up < 0 || records[static_cast<std::size_t>(up)].borrow_ps <= 0) {
+        break;
+      }
+      at = up;
+    }
+    std::reverse(chain.cells.begin(), chain.cells.end());
+    std::reverse(chain.borrows_ps.begin(), chain.borrows_ps.end());
+    return chain;
+  };
+
+  // A register is a chain end unless an over-budget borrower continues the
+  // chain downstream of it.
+  std::vector<bool> continued(records.size(), false);
+  std::vector<bool> over(records.size(), false);
+  std::vector<Chain> chains(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].borrow_ps <= 0) continue;
+    chains[i] = chain_of(static_cast<int>(i));
+    over[i] = chains[i].cells.size() >= 2 &&
+              chains[i].total_ps > budget_ps + 1e-6;
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!over[i] || !records[i].upstream.valid()) continue;
+    const int up = record_of[records[i].upstream.value()];
+    if (up >= 0) continued[static_cast<std::size_t>(up)] = true;
+  }
+
+  FindingBudget budget(ctx, check::RuleId::kBorrowChain,
+                       options.max_findings);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!over[i] || continued[i]) continue;
+    const Chain& chain = chains[i];
+    std::string per_latch;
+    for (std::size_t j = 0; j < chain.borrows_ps.size(); ++j) {
+      if (j != 0) per_latch += "+";
+      per_latch += cat(std::llround(chain.borrows_ps[j]));
+    }
+    budget.emit(
+        cat("time-borrowing chain through ", chain.cells.size(),
+            " register(s) accumulates ", std::llround(chain.total_ps),
+            " ps (", per_latch, "), over the ", std::llround(budget_ps),
+            " ps budget"),
+        chain.cells, {},
+        "retime the chain, widen its phases, or raise borrow_budget_ps");
+  }
+  budget.finish();
+}
+
+}  // namespace tp::analysis

@@ -1,0 +1,166 @@
+#include "src/analysis/dataflow.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "src/netlist/traverse.hpp"
+#include "src/util/log.hpp"
+
+namespace tp::analysis {
+
+std::size_t run_to_fixpoint(const Netlist& netlist, Direction direction,
+                            const std::function<bool(CellId)>& transfer,
+                            std::size_t max_steps) {
+  const std::size_t n = netlist.num_cells();
+  std::vector<std::uint8_t> queued(n, 0);
+  std::deque<std::uint32_t> worklist;
+  const auto push = [&](CellId id) {
+    if (queued[id.value()] != 0) return;
+    queued[id.value()] = 1;
+    worklist.push_back(id.value());
+  };
+  // Seed sources first (ascending), then the combinational cells in
+  // topological order: acyclic value flow then converges in one pass per
+  // lattice climb, and the order is a pure function of the netlist, so
+  // runs stay reproducible. Backward runs seed the exact reverse.
+  std::vector<std::uint32_t> seeds;
+  seeds.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const Cell& cell = netlist.cell(CellId{id});
+    if (cell.alive && !is_combinational(cell.kind)) seeds.push_back(id);
+  }
+  for (const CellId id : levelize(netlist).comb_order) {
+    seeds.push_back(id.value());
+  }
+  if (direction == Direction::kBackward) {
+    std::reverse(seeds.begin(), seeds.end());
+  }
+  for (const std::uint32_t id : seeds) push(CellId{id});
+
+  std::size_t steps = 0;
+  while (!worklist.empty()) {
+    const CellId id{worklist.front()};
+    worklist.pop_front();
+    queued[id.value()] = 0;
+    ++steps;
+    require(max_steps == 0 || steps <= max_steps,
+            "dataflow: fixpoint exceeded max_steps (non-monotone transfer?)");
+    if (!transfer(id)) continue;
+    const Cell& cell = netlist.cell(id);
+    if (direction == Direction::kForward) {
+      if (!cell.out.valid()) continue;
+      for (const PinRef& ref : netlist.net(cell.out).fanouts) {
+        if (netlist.cell(ref.cell).alive) push(ref.cell);
+      }
+    } else {
+      for (const NetId in : cell.ins) {
+        const CellId driver = netlist.net(in).driver;
+        if (driver.valid() && netlist.cell(driver).alive) push(driver);
+      }
+    }
+  }
+  return steps;
+}
+
+Ternary ternary_join(Ternary a, Ternary b) {
+  if (a == b) return a;
+  if (a == Ternary::kBottom) return b;
+  if (b == Ternary::kBottom) return a;
+  if (a == Ternary::kUnknown || b == Ternary::kUnknown) {
+    return Ternary::kUnknown;
+  }
+  return Ternary::kVaries;  // {0} join {1}, or anything join kVaries
+}
+
+std::string_view ternary_name(Ternary v) {
+  switch (v) {
+    case Ternary::kBottom: return "bottom";
+    case Ternary::kZero: return "0";
+    case Ternary::kOne: return "1";
+    case Ternary::kVaries: return "varies";
+    case Ternary::kUnknown: return "X";
+  }
+  return "?";
+}
+
+Ternary abstract_eval(CellKind kind, std::span<const Ternary> ins) {
+  constexpr std::size_t kMaxIns = 3;
+  require(is_combinational(kind) && ins.size() <= kMaxIns,
+          "abstract_eval: not a combinational kind");
+  // Concrete candidate values per operand; X operands expand to both.
+  std::array<std::array<bool, 2>, kMaxIns> candidates{};
+  std::array<std::size_t, kMaxIns> counts{};
+  std::array<bool, kMaxIns> is_x{};
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    switch (ins[i]) {
+      case Ternary::kBottom: return Ternary::kBottom;
+      case Ternary::kZero: candidates[i] = {false}; counts[i] = 1; break;
+      case Ternary::kOne: candidates[i] = {true}; counts[i] = 1; break;
+      case Ternary::kVaries:
+        candidates[i] = {false, true};
+        counts[i] = 2;
+        break;
+      case Ternary::kUnknown:
+        candidates[i] = {false, true};
+        counts[i] = 2;
+        is_x[i] = true;
+        break;
+    }
+  }
+  bool saw0 = false;
+  bool saw1 = false;
+  bool x_influences = false;
+  std::array<bool, kMaxIns> value{};
+  // Outer loop: choices for the non-X operands. Inner sweep: both values of
+  // every X operand — if the output is not constant over the sweep for some
+  // outer choice, the X reaches the output.
+  const auto outer = [&](auto&& self, std::size_t i) -> void {
+    if (i == ins.size()) {
+      bool first = true;
+      bool ref = false;
+      const auto sweep = [&](auto&& sweep_self, std::size_t j) -> void {
+        if (j == ins.size()) {
+          const bool out = eval_comb(
+              kind, std::span<const bool>(value.data(), ins.size()));
+          if (out) {
+            saw1 = true;
+          } else {
+            saw0 = true;
+          }
+          if (first) {
+            first = false;
+            ref = out;
+          } else if (out != ref) {
+            x_influences = true;
+          }
+          return;
+        }
+        if (!is_x[j]) {
+          sweep_self(sweep_self, j + 1);
+          return;
+        }
+        for (std::size_t k = 0; k < 2; ++k) {
+          value[j] = k == 1;
+          sweep_self(sweep_self, j + 1);
+        }
+      };
+      sweep(sweep, 0);
+      return;
+    }
+    if (is_x[i]) {
+      self(self, i + 1);
+      return;
+    }
+    for (std::size_t k = 0; k < counts[i]; ++k) {
+      value[i] = candidates[i][k];
+      self(self, i + 1);
+    }
+  };
+  outer(outer, 0);
+  if (x_influences) return Ternary::kUnknown;
+  if (saw0 && saw1) return Ternary::kVaries;
+  return saw0 ? Ternary::kZero : Ternary::kOne;
+}
+
+}  // namespace tp::analysis

@@ -1,0 +1,72 @@
+// Generic worklist dataflow over the netlist graph.
+//
+// The engine fixes the iteration discipline — a deterministic FIFO worklist
+// seeded sources-first then in combinational topological order (reversed
+// for backward runs), re-queueing dependents on change — while
+// the client owns the value storage and the transfer functions. Forward
+// transfers read a cell's input nets and write its output net; backward
+// transfers read the output net and write toward the inputs. Any monotone
+// transfer over a finite lattice reaches a fixpoint; the result is
+// independent of iteration order, and the fixed discipline makes the
+// intermediate trajectory (and thus any recorded witnesses) reproducible.
+//
+// The {0,1,X} lattice and the abstract gate evaluator used by the A1
+// X-propagation analysis live here too, so tests can exercise them without
+// the full analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp::analysis {
+
+enum class Direction { kForward, kBackward };
+
+/// Runs `transfer` over every live cell to a fixpoint. transfer(cell) must
+/// be monotone over a finite lattice and return true when it changed any
+/// value it writes; the engine then re-queues the dependent cells (fanout
+/// cells for kForward, fan-in drivers for kBackward). Returns the number
+/// of transfer invocations. `max_steps` (0 = uncapped) guards against
+/// non-monotone transfers; exceeding it throws tp::Error.
+std::size_t run_to_fixpoint(const Netlist& netlist, Direction direction,
+                            const std::function<bool(CellId)>& transfer,
+                            std::size_t max_steps = 0);
+
+/// Abstract value lattice for {0,1,X} simulation, ordered
+///
+///   kBottom  <  { kZero, kOne }  <  kVaries  <  kUnknown
+///
+/// kBottom: no value computed yet. kZero/kOne: constant across all
+/// reachable states. kVaries: defined, 0 or 1 depending on cycle/state.
+/// kUnknown: may be undefined (X).
+enum class Ternary : std::uint8_t {
+  kBottom = 0,
+  kZero,
+  kOne,
+  kVaries,
+  kUnknown,
+};
+
+/// Least upper bound in the lattice above.
+Ternary ternary_join(Ternary a, Ternary b);
+
+[[nodiscard]] constexpr bool ternary_may_be_x(Ternary v) {
+  return v == Ternary::kUnknown;
+}
+
+std::string_view ternary_name(Ternary v);
+
+/// Abstract evaluation of a combinational kind over abstract operands:
+/// enumerates the concrete {0,1} choices each operand admits, expanding X
+/// operands to both values; when some X choice changes the output the
+/// result is kUnknown, otherwise the constant every expansion agrees on,
+/// or kVaries. Controlling constants therefore block X exactly as in
+/// 3-valued simulation: AND(0, X) = 0, MUX(a, a, X) = a. Any kBottom
+/// operand yields kBottom.
+Ternary abstract_eval(CellKind kind, std::span<const Ternary> ins);
+
+}  // namespace tp::analysis

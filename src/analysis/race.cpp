@@ -1,0 +1,192 @@
+// A2: min-delay race detection.
+//
+// The structural C2 rule (rules_phase.cpp) flags any combinational path
+// between latches whose transparency windows overlap; this analysis is its
+// timing-aware refinement: a pair races only when the earliest possible
+// data launched at the launch window's open can reach the capture latch
+// before the overlapping capture window occurrence has closed (plus hold
+// margin). The earliest arrivals come from timing::min_delay_profile() —
+// one per launch class — and the capture windows from the rule context's
+// traced check::WindowSet, unrolled onto [0, 2*Tc) so wrapping
+// transparent-low windows compare directly against the STA's (open, close)
+// launch classes. Identical-window pairs are the same-phase transparent
+// chains the retimer creates by design and are exempt, matching the STA
+// hold exemption.
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/analysis.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::analysis {
+namespace {
+
+/// Converts a WindowSet into one [start, end) interval with end possibly
+/// past the period (wrapped windows). False when empty or not contiguous
+/// on the circle.
+bool unroll_window(const check::WindowSet& w, std::int64_t period,
+                   double* start, double* end) {
+  if (w.n == 1) {
+    *start = static_cast<double>(w.span[0][0]);
+    *end = static_cast<double>(w.span[0][1]);
+    return true;
+  }
+  if (w.n == 2) {
+    // phase_high_window() emits wrapped windows as [0, a) + [b, Tc).
+    for (int head = 0; head < 2; ++head) {
+      const auto& lo_span = w.span[head];
+      const auto& hi_span = w.span[1 - head];
+      if (lo_span[0] == 0 && hi_span[1] == period) {
+        *start = static_cast<double>(hi_span[0]);
+        *end = static_cast<double>(lo_span[1] + period);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void rule_min_delay_race(check::RuleContext& ctx,
+                         const AnalysisOptions& options) {
+  const Netlist& nl = ctx.netlist();
+  const std::int64_t period = nl.clocks().period_ps;
+  if (period <= 0) return;
+  const std::vector<CellId> registers = nl.registers();
+  if (registers.empty()) return;
+  // Untimeable registers (no waveform for their phase tag) are a
+  // clock-legality problem the structural rules report; skip the analysis.
+  for (const CellId id : registers) {
+    if (nl.clocks().find(nl.cell(id).phase) == nullptr) return;
+  }
+
+  // Trace every register's transparency window up front and bail before
+  // the min-delay STA pass unless some pair of *distinct* windows
+  // overlaps at a cyclic alignment — the clean 3-phase and master-slave
+  // schedules tile the period disjointly, so they never reach the
+  // profile. (Launch classes are these same latch windows: the STA and
+  // the rule context build both from the same waveforms.)
+  struct RegWindow {
+    CellId id;
+    double open = 0;
+    double close = 0;
+    bool usable = false;
+  };
+  std::vector<RegWindow> windows;
+  windows.reserve(registers.size());
+  std::vector<std::pair<double, double>> distinct;
+  for (const CellId id : registers) {
+    RegWindow rw;
+    rw.id = id;
+    const check::WindowSet window = ctx.latch_window(id);
+    rw.usable = !window.empty() &&
+                unroll_window(window, period, &rw.open, &rw.close);
+    if (rw.usable &&
+        std::find(distinct.begin(), distinct.end(),
+                  std::pair{rw.open, rw.close}) == distinct.end()) {
+      distinct.emplace_back(rw.open, rw.close);
+    }
+    windows.push_back(rw);
+  }
+  bool any_overlap = false;
+  for (const auto& [lo, lc] : distinct) {
+    if (lc <= lo) continue;  // zero-width launch cannot race
+    for (const auto& [co, cc] : distinct) {
+      if (lo == co && lc == cc) continue;  // identical windows are exempt
+      for (const double shift :
+           {-static_cast<double>(period), 0.0,
+            static_cast<double>(period)}) {
+        if (std::max(lo, co + shift) < std::min(lc, cc + shift)) {
+          any_overlap = true;
+        }
+      }
+    }
+  }
+  if (!any_overlap) return;
+
+  const CellLibrary& library = analysis_library(options);
+  const MinDelayProfile prof =
+      min_delay_profile(nl, library, options.timing);
+
+  FindingBudget budget(ctx, check::RuleId::kMinDelayRace,
+                       options.max_findings);
+  for (const RegWindow& rw : windows) {
+    if (!rw.usable) {
+      continue;  // edge samplers and untraced latches cannot race-capture
+    }
+    const CellId id = rw.id;
+    const Cell& cell = nl.cell(id);
+    const double open = rw.open;
+    const double close = rw.close;
+    const double margin = library.params(cell.kind).hold_ps +
+                          options.timing.hold_uncertainty_ps;
+    for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
+      if (static_cast<int>(pin) == clock_pin(cell.kind)) continue;
+      const NetId d = cell.ins[pin];
+      for (std::size_t c = 0; c < prof.classes.size(); ++c) {
+        const auto& launch = prof.classes[c];
+        if (launch.close_ps <= launch.open_ps) {
+          continue;  // zero-width launch (FF / PI): the STA hold check owns it
+        }
+        if (launch.open_ps == open && launch.close_ps == close) {
+          continue;  // same-phase transparent chain, overlapping by design
+        }
+        if (!prof.reachable(c, d)) continue;
+        const double arrival = prof.arrival_ps[c][d.value()];
+        // Try the three cyclic alignments of the capture window against the
+        // launch window; both live in [0, 2*Tc).
+        double worst_close = 0;
+        bool racing = false;
+        for (const double shift :
+             {-static_cast<double>(period), 0.0,
+              static_cast<double>(period)}) {
+          const double lo = std::max(launch.open_ps, open + shift);
+          const double hi = std::min(launch.close_ps, close + shift);
+          if (lo >= hi) continue;  // windows do not overlap here
+          const double capture_close = close + shift;
+          if (arrival + 1e-9 < capture_close + margin &&
+              (!racing || capture_close > worst_close)) {
+            racing = true;
+            worst_close = capture_close;
+          }
+        }
+        if (!racing) continue;
+
+        // Witness: walk the min-delay back-pointers to the launch latch.
+        const CellId launcher = prof.launch[c][d.value()];
+        std::vector<std::string> path;
+        NetId net = d;
+        for (std::size_t step = 0; step <= nl.num_cells(); ++step) {
+          const CellId driver = nl.net(net).driver;
+          if (!driver.valid()) break;
+          const Cell& dc = nl.cell(driver);
+          if (is_register(dc.kind) || dc.kind == CellKind::kInput) break;
+          path.push_back(dc.name);
+          net = prof.pred[c][net.value()];
+          if (!net.valid()) break;
+        }
+        std::reverse(path.begin(), path.end());
+        std::vector<std::string> cells;
+        if (launcher.valid()) cells.push_back(nl.cell(launcher).name);
+        cells.insert(cells.end(), path.begin(), path.end());
+        cells.push_back(cell.name);
+
+        budget.emit(
+            cat("min-delay race: data launched in window [",
+                std::llround(launch.open_ps), ", ",
+                std::llround(launch.close_ps), ") ps can reach '", cell.name,
+                "' at t=", std::llround(arrival),
+                " ps, before its overlapping transparency window closes at ",
+                std::llround(worst_close), " ps (+",
+                std::llround(margin), " ps hold margin)"),
+            std::move(cells), {nl.net(d).name},
+            "pad the path with min-delay buffers or separate the phase "
+            "windows");
+      }
+    }
+  }
+  budget.finish();
+}
+
+}  // namespace tp::analysis

@@ -1,0 +1,278 @@
+// A1: X-propagation / reset reachability.
+//
+// Abstract {0,1,X} simulation of the post-reset machine on the forward
+// worklist engine. Registers start at their reset value (or X when named in
+// AnalysisOptions::x_sources), primary inputs carry defined-but-varying
+// values (or X when so named), floating nets are X. Latch transparency and
+// edge sampling both fold the data value into the register state; an X on a
+// traced clock or gate pin makes the sampled state X (unknown whether the
+// element captured). The fixpoint is monotone over the Ternary lattice, so
+// one pass per lattice climb bounds the work.
+//
+// Witnesses: a BFS over the X support graph (edges from X-valued fan-in
+// nets into X-valued outputs) gives a shortest cell path from some X source
+// to each flagged register / primary output.
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "src/analysis/analysis.hpp"
+#include "src/analysis/dataflow.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::analysis {
+namespace {
+
+struct XpropState {
+  std::vector<Ternary> net;    // per-net abstract value
+  std::vector<Ternary> state;  // per-cell register / ICG-latch state
+};
+
+/// Abstract register update: what the element's state becomes given the
+/// data value `d`, the clock/gate value `g`, and the current state.
+Ternary sequential_join(CellKind kind, Ternary current, Ternary d,
+                        Ternary g) {
+  if (g == Ternary::kBottom) return current;  // clock value not known yet
+  if (g == Ternary::kUnknown) return Ternary::kUnknown;
+  const bool gate_can_open = [&] {
+    switch (kind) {
+      case CellKind::kLatchL:  // transparent while the gate is low
+        return g != Ternary::kOne;
+      default:  // rising-edge samplers and transparent-high latches
+        return g != Ternary::kZero;
+    }
+  }();
+  if (!gate_can_open) return current;  // parked clock: state holds
+  if (d == Ternary::kBottom) return current;
+  return ternary_join(current, d);
+}
+
+}  // namespace
+
+void rule_xprop(check::RuleContext& ctx, const AnalysisOptions& options) {
+  const Netlist& nl = ctx.netlist();
+  const std::unordered_set<std::string_view> x_sources(
+      options.x_sources.begin(), options.x_sources.end());
+
+  // X values enter the abstract machine only through the seeds below —
+  // every register has a reset value and every input is defined-but-
+  // varying. No seed, no X, no findings: skip the fixpoint entirely.
+  if (x_sources.empty()) {
+    bool floating = false;
+    for (std::uint32_t n = 0; n < nl.num_nets() && !floating; ++n) {
+      const Net& net = nl.net(NetId{n});
+      floating = !net.driver.valid() && !net.fanouts.empty();
+    }
+    if (!floating) return;
+  }
+
+  XpropState s;
+  s.net.assign(nl.num_nets(), Ternary::kBottom);
+  s.state.assign(nl.num_cells(), Ternary::kBottom);
+
+  // Post-reset register state seeds.
+  for (const CellId id : nl.registers()) {
+    const Cell& cell = nl.cell(id);
+    s.state[id.value()] = x_sources.contains(cell.name) ? Ternary::kUnknown
+                          : cell.init                   ? Ternary::kOne
+                                                        : Ternary::kZero;
+  }
+  // Floating nets (live fanout, no driver) carry X.
+  for (std::uint32_t n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(NetId{n});
+    if (net.driver.valid() || net.fanouts.empty()) continue;
+    s.net[n] = Ternary::kUnknown;
+  }
+
+  const auto transfer = [&](CellId id) -> bool {
+    const Cell& cell = nl.cell(id);
+    Ternary out = Ternary::kBottom;
+    switch (cell.kind) {
+      case CellKind::kOutput:
+        return false;  // no output net to write
+      case CellKind::kInput:
+        out = x_sources.contains(cell.name) ? Ternary::kUnknown
+                                            : Ternary::kVaries;
+        break;
+      case CellKind::kConst0:
+        out = Ternary::kZero;
+        break;
+      case CellKind::kConst1:
+        out = Ternary::kOne;
+        break;
+      case CellKind::kDff:
+      case CellKind::kLatchH:
+      case CellKind::kLatchL:
+      case CellKind::kLatchP: {
+        const Ternary d = s.net[cell.ins[0].value()];
+        const Ternary g = s.net[cell.ins[1].value()];
+        s.state[id.value()] =
+            sequential_join(cell.kind, s.state[id.value()], d, g);
+        out = s.state[id.value()];
+        break;
+      }
+      case CellKind::kDffEn: {
+        const Ternary d = s.net[cell.ins[0].value()];
+        const Ternary en = s.net[cell.ins[1].value()];
+        const Ternary ck = s.net[cell.ins[2].value()];
+        // EN == 0 holds; EN == X cannot inject values outside {state, D},
+        // so the sampling join already covers it.
+        const Ternary gate =
+            en == Ternary::kZero ? Ternary::kZero : ck;
+        s.state[id.value()] =
+            sequential_join(cell.kind, s.state[id.value()], d, gate);
+        out = s.state[id.value()];
+        break;
+      }
+      case CellKind::kIcg:
+      case CellKind::kIcgM1: {
+        // The internal latch re-captures EN every cycle; its state set is
+        // the EN value set, so GCLK = EN & CK abstractly.
+        const Ternary en = s.net[cell.ins[0].value()];
+        const Ternary ck = s.net[cell.ins[1].value()];
+        if (en == Ternary::kBottom || ck == Ternary::kBottom) {
+          out = Ternary::kBottom;
+        } else {
+          const Ternary ins2[] = {en, ck};
+          out = abstract_eval(CellKind::kAnd2, ins2);
+        }
+        break;
+      }
+      default: {  // stateless gates incl. kIcgNoLatch / clock buffers
+        Ternary ins[3] = {};
+        for (std::size_t i = 0; i < cell.ins.size(); ++i) {
+          ins[i] = s.net[cell.ins[i].value()];
+        }
+        out = abstract_eval(
+            cell.kind, std::span<const Ternary>(ins, cell.ins.size()));
+        break;
+      }
+    }
+    if (!cell.out.valid()) return false;
+    const Ternary joined = ternary_join(s.net[cell.out.value()], out);
+    if (joined == s.net[cell.out.value()]) return false;
+    s.net[cell.out.value()] = joined;
+    return true;
+  };
+  // Each net climbs the lattice at most 3 times and re-queues its fanout,
+  // so total pops stay well under cells * (3 * max_pins + 1).
+  run_to_fixpoint(nl, Direction::kForward, transfer,
+                  /*max_steps=*/(nl.num_cells() + 1) * 16);
+
+  // Collect endpoints: registers whose state is X, POs whose input is X.
+  std::vector<CellId> x_regs;
+  std::vector<CellId> x_outs;
+  for (const CellId id : nl.registers()) {
+    if (s.state[id.value()] == Ternary::kUnknown) x_regs.push_back(id);
+  }
+  for (const CellId id : nl.outputs()) {
+    const Cell& cell = nl.cell(id);
+    if (!cell.alive) continue;
+    if (s.net[cell.ins[0].value()] == Ternary::kUnknown) {
+      x_outs.push_back(id);
+    }
+  }
+  if (x_regs.empty() && x_outs.empty()) return;
+
+  // Shortest witness paths: BFS over nets whose value is X, edges through
+  // cells whose X output is fed by an X input. The sources are exactly the
+  // seeds that introduced X: named inputs, X-reset registers, and floating
+  // nets (explicit, so X feedback loops still have a source).
+  constexpr std::uint32_t kUnvisited = 0xffffffffU;
+  std::vector<std::uint32_t> parent(nl.num_nets(), kUnvisited);
+  std::vector<std::uint32_t> dist(nl.num_nets(), kUnvisited);
+  std::queue<std::uint32_t> bfs;
+  const auto is_x_net = [&](NetId n) {
+    return n.valid() && s.net[n.value()] == Ternary::kUnknown;
+  };
+  const auto seed_bfs = [&](NetId n) {
+    if (!is_x_net(n) || dist[n.value()] != kUnvisited) return;
+    dist[n.value()] = 0;
+    parent[n.value()] = n.value();  // self-parent marks a source
+    bfs.push(n.value());
+  };
+  for (std::uint32_t n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(NetId{n});
+    if (!net.driver.valid() && !net.fanouts.empty()) seed_bfs(NetId{n});
+  }
+  for (std::uint32_t c = 0; c < nl.num_cells(); ++c) {
+    const Cell& cell = nl.cell(CellId{c});
+    if (!cell.alive || !cell.out.valid()) continue;
+    if ((cell.kind == CellKind::kInput || is_register(cell.kind)) &&
+        x_sources.contains(cell.name)) {
+      seed_bfs(cell.out);
+    }
+  }
+  while (!bfs.empty()) {
+    const std::uint32_t at = bfs.front();
+    bfs.pop();
+    for (const PinRef& ref : nl.net(NetId{at}).fanouts) {
+      const Cell& cell = nl.cell(ref.cell);
+      if (!cell.alive || !cell.out.valid()) continue;
+      const std::uint32_t out = cell.out.value();
+      if (s.net[out] != Ternary::kUnknown || dist[out] != kUnvisited) {
+        continue;
+      }
+      dist[out] = dist[at] + 1;
+      parent[out] = at;
+      bfs.push(out);
+    }
+  }
+
+  // Path of cell names from the X source driving `net` to `net`'s driver.
+  const auto witness = [&](NetId net) {
+    std::vector<std::string> path;
+    std::uint32_t at = net.value();
+    while (at != kUnvisited) {
+      const CellId driver = nl.net(NetId{at}).driver;
+      if (driver.valid()) path.push_back(nl.cell(driver).name);
+      if (parent[at] == at) break;
+      at = parent[at];
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+  const auto nearest_x_in = [&](const Cell& cell) {
+    NetId best;
+    for (const NetId in : cell.ins) {
+      if (!is_x_net(in) || dist[in.value()] == kUnvisited) continue;
+      if (!best.valid() || dist[in.value()] < dist[best.value()]) best = in;
+    }
+    return best;
+  };
+
+  FindingBudget budget(ctx, check::RuleId::kXProp, options.max_findings);
+  for (const CellId id : x_regs) {
+    const Cell& cell = nl.cell(id);
+    const NetId via = nearest_x_in(cell);
+    std::vector<std::string> path;
+    if (via.valid()) path = witness(via);
+    path.push_back(cell.name);
+    budget.emit(
+        cat("post-reset X reaches register '", cell.name, "'",
+            via.valid() ? cat(" through ", dist[via.value()] + 1,
+                              " cell(s) (shortest witness)")
+                        : std::string(" at reset")),
+        std::move(path), via.valid() ? std::vector<std::string>{nl.net(via).name}
+                                     : std::vector<std::string>{},
+        "reset the source register or name it in x_sources/waivers");
+  }
+  for (const CellId id : x_outs) {
+    const Cell& cell = nl.cell(id);
+    const NetId via = nearest_x_in(cell);
+    std::vector<std::string> path;
+    if (via.valid()) path = witness(via);
+    path.push_back(cell.name);
+    budget.emit(
+        cat("post-reset X reaches primary output '", cell.name, "'",
+            via.valid() ? cat(" through ", dist[via.value()] + 1,
+                              " cell(s) (shortest witness)")
+                        : std::string()),
+        std::move(path), via.valid() ? std::vector<std::string>{nl.net(via).name}
+                                     : std::vector<std::string>{},
+        "drive the output cone from reset state or waive the endpoint");
+  }
+  budget.finish();
+}
+
+}  // namespace tp::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/check/rules.hpp"
+#include "src/util/json.hpp"
 #include "src/util/strcat.hpp"
 
 namespace tp::check {
@@ -252,39 +253,21 @@ RuleFn rule_fn(RuleId rule) {
     case RuleId::kM1BorrowWindow: return rule_m1_borrow_window;
     case RuleId::kM2EnablePhase: return rule_m2_enable_phase;
     case RuleId::kScheduleSanity: return rule_schedule_sanity;
+    // Analysis-engine rules: no structural entry point here; they are
+    // evaluated by analysis::run_analysis() (src/analysis/).
+    case RuleId::kXProp:
+    case RuleId::kMinDelayRace:
+    case RuleId::kBorrowChain:
+      return nullptr;
   }
   return nullptr;
 }
 
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += cat("\\u00", "0123456789abcdef"[(c >> 4) & 0xF],
-                     "0123456789abcdef"[c & 0xF]);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void append_json_names(std::string& out, const char* key,
-                       const std::vector<std::string>& names) {
-  out += cat("\"", key, "\":[");
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    if (i) out += ",";
-    out += cat("\"", json_escape(names[i]), "\"");
-  }
-  out += "]";
+void write_json_names(util::JsonWriter& w, std::string_view key,
+                      const std::vector<std::string>& names) {
+  w.key(key).begin_array();
+  for (const std::string& name : names) w.value(name);
+  w.end_array();
 }
 
 }  // namespace
@@ -309,12 +292,18 @@ CheckReport run_checks(const Netlist& netlist, const CheckOptions& options) {
                   spec.id) != options.disabled.end()) {
       continue;
     }
-    rule_fn(spec.id)(ctx);
+    const RuleFn fn = rule_fn(spec.id);
+    if (fn != nullptr) fn(ctx);
   }
+  return finalize_report(netlist, ctx.take(), options);
+}
 
+CheckReport finalize_report(const Netlist& netlist,
+                            std::vector<Diagnostic> diags,
+                            const CheckOptions& options) {
   CheckReport report;
   report.design = netlist.name();
-  report.diags = ctx.take();
+  report.diags = std::move(diags);
   for (Diagnostic& diag : report.diags) {
     diag.waived = options.waivers.matches(diag);
     if (diag.waived) {
@@ -331,6 +320,19 @@ CheckReport run_checks(const Netlist& netlist, const CheckOptions& options) {
   return report;
 }
 
+void CheckReport::merge(CheckReport other) {
+  if (design.empty()) design = std::move(other.design);
+  diags.insert(diags.end(), std::make_move_iterator(other.diags.begin()),
+               std::make_move_iterator(other.diags.end()));
+  errors += other.errors;
+  warnings += other.warnings;
+  infos += other.infos;
+  waived += other.waived;
+  for (int i = 0; i < kNumRules; ++i) {
+    count_by_rule[i] += other.count_by_rule[i];
+  }
+}
+
 std::string CheckReport::to_text() const {
   std::string out;
   for (const Diagnostic& diag : diags) {
@@ -344,34 +346,35 @@ std::string CheckReport::to_text() const {
 }
 
 std::string CheckReport::to_json() const {
-  std::string out = cat("{\"design\":\"", json_escape(design),
-                        "\",\"errors\":", errors, ",\"warnings\":", warnings,
-                        ",\"infos\":", infos, ",\"waived\":", waived,
-                        ",\"clean\":", clean() ? "true" : "false",
-                        ",\"counts\":{");
-  bool first = true;
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("design").value(design);
+  w.key("errors").value(errors);
+  w.key("warnings").value(warnings);
+  w.key("infos").value(infos);
+  w.key("waived").value(waived);
+  w.key("clean").value(clean());
+  w.key("counts").begin_object();
   for (int i = 0; i < kNumRules; ++i) {
     if (count_by_rule[i] == 0) continue;
-    if (!first) out += ",";
-    first = false;
-    out += cat("\"", rule_name(static_cast<RuleId>(i)),
-               "\":", count_by_rule[i]);
+    w.key(rule_name(static_cast<RuleId>(i))).value(count_by_rule[i]);
   }
-  out += "},\"diagnostics\":[";
-  for (std::size_t i = 0; i < diags.size(); ++i) {
-    const Diagnostic& diag = diags[i];
-    if (i) out += ",";
-    out += cat("{\"rule\":\"", rule_name(diag.rule), "\",\"severity\":\"",
-               severity_name(diag.severity), "\",\"message\":\"",
-               json_escape(diag.message), "\",");
-    append_json_names(out, "cells", diag.cells);
-    out += ",";
-    append_json_names(out, "nets", diag.nets);
-    out += cat(",\"hint\":\"", json_escape(diag.hint), "\",\"waived\":",
-               diag.waived ? "true" : "false", "}");
+  w.end_object();
+  w.key("diagnostics").begin_array();
+  for (const Diagnostic& diag : diags) {
+    w.begin_object();
+    w.key("rule").value(rule_name(diag.rule));
+    w.key("severity").value(severity_name(diag.severity));
+    w.key("message").value(diag.message);
+    write_json_names(w, "cells", diag.cells);
+    write_json_names(w, "nets", diag.nets);
+    w.key("hint").value(diag.hint);
+    w.key("waived").value(diag.waived);
+    w.end_object();
   }
-  out += "]}";
-  return out;
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 std::string CheckReport::to_baseline() const {

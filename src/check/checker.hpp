@@ -60,6 +60,10 @@ struct CheckReport {
   [[nodiscard]] std::string to_json() const;
   /// Waiver lines covering every live finding (see waiver.hpp).
   [[nodiscard]] std::string to_baseline() const;
+
+  /// Folds `other`'s diagnostics and counts into this report (used to
+  /// combine a run_checks() pass with an analysis::run_analysis() pass).
+  void merge(CheckReport other);
 };
 
 /// One registry entry per rule; the registry drives run_checks(),
@@ -75,8 +79,17 @@ struct RuleSpec {
 const std::vector<RuleSpec>& rule_registry();
 
 /// Runs every enabled rule on `netlist`. The netlist must satisfy
-/// Netlist::validate(); the checker never mutates it.
+/// Netlist::validate(); the checker never mutates it. The analysis-engine
+/// rules (rule_is_analysis()) are registry entries only here — evaluate
+/// them through analysis::run_analysis().
 CheckReport run_checks(const Netlist& netlist,
                        const CheckOptions& options = {});
+
+/// Assembles a CheckReport from raw diagnostics: applies `options.waivers`
+/// and computes the severity / per-rule counts. Shared by run_checks() and
+/// analysis::run_analysis().
+CheckReport finalize_report(const Netlist& netlist,
+                            std::vector<Diagnostic> diags,
+                            const CheckOptions& options);
 
 }  // namespace tp::check

@@ -60,6 +60,19 @@ const RuleInfo& info(RuleId rule) {
        "windows, valid roots; phase segments above Tc/2 break the "
        "half-stage throughput bound",
        Severity::kError},
+      {"x-propagation", "A1 (reset reachability)",
+       "an unknown (X) value in the post-reset state can propagate through "
+       "transparency windows to a register or primary output",
+       Severity::kError},
+      {"min-delay-race", "A2 (min-delay race)",
+       "the min path delay between two latches with overlapping "
+       "transparency windows cannot guarantee the capture window has "
+       "closed — data can race through in one cycle",
+       Severity::kError},
+      {"borrow-chain", "A3 (time-borrowing budget)",
+       "a chain of transparent latches accumulates more time borrowing "
+       "than the configured budget (default: one full phase)",
+       Severity::kError},
   };
   return kTable[static_cast<int>(rule)];
 }

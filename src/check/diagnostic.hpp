@@ -32,9 +32,21 @@ enum class RuleId : int {
   kM1BorrowWindow,     // M1 borrow phase overlaps the gated phase
   kM2EnablePhase,      // M2 cell with a same-phase enable source
   kScheduleSanity,     // C3 / SMO closing-edge and window sanity
+  // Dataflow analyses (src/analysis/). They share the diagnostic, waiver,
+  // and report machinery but are driven by analysis::run_analysis() rather
+  // than run_checks(): run_checks() has no entry point for them.
+  kXProp,              // A1: X escapes the post-reset state to a reg/output
+  kMinDelayRace,       // A2: min path delay inside an overlapped window
+  kBorrowChain,        // A3: cumulative time borrowing past the budget
 };
 
-inline constexpr int kNumRules = static_cast<int>(RuleId::kScheduleSanity) + 1;
+inline constexpr int kNumRules = static_cast<int>(RuleId::kBorrowChain) + 1;
+
+/// True for the analysis-engine rules (A1/A2/A3) that run_checks() cannot
+/// evaluate; analysis::run_analysis() owns them.
+[[nodiscard]] constexpr bool rule_is_analysis(RuleId rule) {
+  return rule >= RuleId::kXProp;
+}
 
 /// Stable external rule name ("transparency-race", ...).
 std::string_view rule_name(RuleId rule);

@@ -26,6 +26,7 @@ struct WindowSet {
 
   void add(std::int64_t lo, std::int64_t hi) {
     if (lo >= hi) return;
+    if (n >= static_cast<int>(span.size())) return;  // capacity 2: drop extras
     span[n][0] = lo;
     span[n][1] = hi;
     ++n;

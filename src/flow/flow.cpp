@@ -4,6 +4,7 @@
 #include <future>
 #include <memory>
 
+#include "src/analysis/analysis.hpp"
 #include "src/netlist/traverse.hpp"
 #include "src/place/placer.hpp"
 #include "src/util/executor.hpp"
@@ -134,6 +135,23 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   check::CheckOptions lint_options = options.lint;
   lint_options.ddcg_max_fanout = std::max(lint_options.ddcg_max_fanout,
                                           options.ddcg_options.max_fanout);
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.check = lint_options;
+  analysis_options.timing = options.timing;
+  analysis_options.borrow_budget_ps = options.borrow_budget_ps;
+  // Runs the opt-in checkpoint lints on one stage snapshot: structural
+  // rules, dataflow analyses, or both merged into one report.
+  const auto lint_stage = [check_rules = options.check_rules,
+                           check_analysis = options.check_analysis,
+                           lint_options,
+                           analysis_options](const Netlist& snapshot) {
+    check::CheckReport report;
+    if (check_rules) report = check::run_checks(snapshot, lint_options);
+    if (check_analysis) {
+      report.merge(analysis::run_analysis(snapshot, analysis_options));
+    }
+    return report;
+  };
   // With an executor, each checkpoint snapshots the stage output and runs
   // the (pure, read-only) checks as pool tasks that overlap with the rest
   // of the flow; the futures are joined in stage order before run_flow()
@@ -166,7 +184,10 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   } pending_checks{&equiv_futures, &lint_futures, options.executor};
   const auto checkpoint = [&](std::string_view stage) {
     if (options.stage_hook) options.stage_hook(netlist, stage);
-    if (!options.check_equivalence && !options.check_rules) return;
+    if (!options.check_equivalence && !options.check_rules &&
+        !options.check_analysis) {
+      return;
+    }
     if (options.executor != nullptr) {
       auto snapshot = std::make_shared<const Netlist>(netlist);
       if (options.check_equivalence) {
@@ -182,13 +203,13 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
               return check;
             }));
       }
-      if (options.check_rules) {
+      if (options.check_rules || options.check_analysis) {
         lint_futures.push_back(options.executor->submit(
-            [snapshot, stage = std::string(stage), lint_options]() {
+            [snapshot, stage = std::string(stage), lint_stage]() {
               Stopwatch watch;
               StageLint lint;
               lint.stage = stage;
-              lint.report = check::run_checks(*snapshot, lint_options);
+              lint.report = lint_stage(*snapshot);
               lint.seconds = watch.seconds();
               return lint;
             }));
@@ -205,11 +226,11 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
       result.times.equiv_s += check.seconds;
       result.equiv.stages.push_back(std::move(check));
     }
-    if (options.check_rules) {
+    if (options.check_rules || options.check_analysis) {
       Stopwatch watch;
       StageLint lint;
       lint.stage = std::string(stage);
-      lint.report = check::run_checks(netlist, lint_options);
+      lint.report = lint_stage(netlist);
       lint.seconds = watch.seconds();
       result.times.lint_s += lint.seconds;
       result.lint.stages.push_back(std::move(lint));

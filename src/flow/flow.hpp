@@ -84,6 +84,17 @@ struct FlowOptions {
   /// the rules are structural, no SAT involved.
   bool check_rules = false;
   check::CheckOptions lint;
+  /// Also run the dataflow analyses (src/analysis/: A1 X-propagation, A2
+  /// min-delay races, A3 borrowing chains) at every checkpoint, merged into
+  /// the same per-stage lint reports so first_violation() blames the stage
+  /// that introduced an analysis finding too. Honors `lint` for waivers and
+  /// disabled rules. Costlier than the structural rules (each checkpoint
+  /// re-runs an abstract simulation and two STA passes) but still far
+  /// cheaper than check_equivalence.
+  bool check_analysis = false;
+  /// A3 cumulative borrow budget in ps; negative means the default of one
+  /// full phase segment (period / num_phases).
+  double borrow_budget_ps = -1.0;
   /// Test hook invoked at every SEC checkpoint *before* the check runs;
   /// lets tests inject a fault at a named stage and assert that the
   /// checkpoint report blames exactly that stage.

@@ -61,7 +61,7 @@ std::string options_fingerprint(const FlowOptions& o) {
   // version tag when the flow grows result-affecting options that default
   // to old behavior, so old fingerprints stay honest.
   return cat(
-      "flowopts-v1",
+      "flowopts-v2",
       " cg=", static_cast<int>(o.synthesis_cg.style),
       ",", o.synthesis_cg.min_icg_group,
       " buf=", o.buffering.max_fanout,
@@ -82,7 +82,8 @@ std::string options_fingerprint(const FlowOptions& o) {
       " warmup=", o.warmup_cycles,
       " wide=", o.wide_sim,
       " sec=", o.check_equivalence,
-      " lint=", o.check_rules, ",", o.lint.ddcg_max_fanout);
+      " lint=", o.check_rules, ",", o.lint.ddcg_max_fanout,
+      " analysis=", o.check_analysis, ",", o.borrow_budget_ps);
 }
 
 std::uint64_t options_hash(const FlowOptions& options) {
@@ -127,6 +128,20 @@ std::string result_payload_json(const RunPlan& plan,
   }
   if (!f.lint.stages.empty()) {
     w.key("lint_clean").value(f.lint.all_clean());
+    w.key("lint_stages").begin_array();
+    for (const StageLint& s : f.lint.stages) {
+      w.begin_object();
+      w.key("stage").value(s.stage);
+      w.key("errors").value(s.report.errors);
+      w.key("warnings").value(s.report.warnings);
+      w.key("infos").value(s.report.infos);
+      w.key("waived").value(s.report.waived);
+      w.end_object();
+    }
+    w.end_array();
+    if (const StageLint* first = f.lint.first_violation()) {
+      w.key("lint_first_violation").value(first->stage);
+    }
   }
   w.end_object();
   return w.take();

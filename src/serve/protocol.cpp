@@ -13,6 +13,7 @@ std::string_view job_type_name(JobType type) {
   switch (type) {
     case JobType::kConvert: return "convert";
     case JobType::kPowerEval: return "power_eval";
+    case JobType::kLint: return "lint";
     case JobType::kMatrixSweep: return "matrix_sweep";
     case JobType::kStatus: return "status";
     case JobType::kShutdown: return "shutdown";
@@ -25,6 +26,7 @@ namespace {
 bool job_type_from_name(std::string_view name, JobType* out) {
   if (name == "convert") *out = JobType::kConvert;
   else if (name == "power_eval") *out = JobType::kPowerEval;
+  else if (name == "lint") *out = JobType::kLint;
   else if (name == "matrix_sweep") *out = JobType::kMatrixSweep;
   else if (name == "status") *out = JobType::kStatus;
   else if (name == "shutdown") *out = JobType::kShutdown;
@@ -39,6 +41,8 @@ bool parse_spec(const Json& doc, JobSpec* spec, std::string* error) {
   spec->seed = doc.get_u64("seed", spec->seed);
   spec->lanes = doc.get_u64("lanes", spec->lanes);
   spec->check_rules = doc.get_bool("check_rules", spec->check_rules);
+  spec->check_analysis =
+      doc.get_bool("check_analysis", spec->check_analysis);
 
   flow::FlowOptions options;
   if (!flow::options_from_preset(spec->preset, &options)) {
@@ -113,7 +117,7 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
     return true;
   }
 
-  // convert / power_eval: one benchmark, one style.
+  // convert / power_eval / lint: one benchmark, one style.
   out->benchmark = doc.get_string("benchmark", "");
   if (out->benchmark.empty()) {
     *error = "missing benchmark";
@@ -156,6 +160,7 @@ std::string request_to_json(const Request& request) {
   w.key("seed").value(request.spec.seed);
   w.key("lanes").value(request.spec.lanes);
   if (request.spec.check_rules) w.key("check_rules").value(true);
+  if (request.spec.check_analysis) w.key("check_analysis").value(true);
   w.end_object();
   return w.take();
 }
@@ -243,6 +248,66 @@ std::string power_payload(std::string_view full_payload_json) {
       if (value.is_number()) w.key(name).value(value.as_number());
     }
     w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+/// Re-serializes a parsed Json value; member order is preserved by the
+/// parser, so copying a cached payload's subtree stays byte-deterministic.
+void write_json(JsonWriter& w, const Json& value) {
+  switch (value.type()) {
+    case Json::Type::kNull: w.null(); break;
+    case Json::Type::kBool: w.value(value.as_bool()); break;
+    case Json::Type::kNumber: w.value(value.as_number()); break;
+    case Json::Type::kString: w.value(value.as_string()); break;
+    case Json::Type::kArray:
+      w.begin_array();
+      for (const Json& item : value.items()) write_json(w, item);
+      w.end_array();
+      break;
+    case Json::Type::kObject:
+      w.begin_object();
+      for (const auto& [name, member] : value.members()) {
+        w.key(name);
+        write_json(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string lint_payload(std::string_view full_payload_json) {
+  Json full;
+  std::string error;
+  if (!Json::parse(full_payload_json, &full, &error) || !full.is_object()) {
+    return std::string(full_payload_json);  // pass through, caller guards
+  }
+  JsonWriter w;
+  w.begin_object();
+  for (const char* key : {"benchmark", "style", "workload", "seed"}) {
+    if (const Json* member = full.find(key);
+        member != nullptr && member->is_string()) {
+      w.key(key).value(member->as_string());
+    }
+  }
+  if (const Json* ok = full.find("ok"); ok != nullptr && ok->is_bool()) {
+    w.key("ok").value(ok->as_bool());
+  }
+  if (const Json* err = full.find("error");
+      err != nullptr && err->is_string()) {
+    w.key("error").value(err->as_string());
+  }
+  for (const char* key :
+       {"lint_clean", "lint_stages", "lint_first_violation"}) {
+    if (const Json* member = full.find(key); member != nullptr) {
+      w.key(key);
+      write_json(w, *member);
+    }
   }
   w.end_object();
   return w.take();

@@ -3,26 +3,35 @@
 //
 // One request per line, one response line per request, over any byte
 // transport (Unix/TCP socket or job files in a drop directory — see
-// server.hpp). Five job types:
+// server.hpp). Six job types:
 //
 //   {"id":"j1","type":"convert","benchmark":"s5378","style":"3p",
 //    "preset":"fast","workload":"paper","cycles":48,"seed":7,"lanes":4}
 //   {"id":"j2","type":"power_eval", ...same fields...}
-//   {"id":"j3","type":"matrix_sweep","benchmarks":["s5378","s9234"],
+//   {"id":"j3","type":"lint", ...same fields...}
+//   {"id":"j4","type":"matrix_sweep","benchmarks":["s5378","s9234"],
 //    "styles":["ff","3p"],"preset":"paper", ...}
-//   {"id":"j4","type":"status"}
-//   {"id":"j5","type":"shutdown"}
+//   {"id":"j5","type":"status"}
+//   {"id":"j6","type":"shutdown"}
 //
 // Responses echo the id:
 //   {"id":"j1","ok":true,"cached":false,"payload":{...}}        convert
 //   {"id":"j2","ok":true,"cached":true,"payload":{...power...}} power_eval
-//   {"id":"j3","ok":true,"cached":false,"cells":N,"cached_cells":M,
+//   {"id":"j3","ok":true,"cached":false,"payload":{...lint...}} lint
+//   {"id":"j4","ok":true,"cached":false,"cells":N,"cached_cells":M,
 //    "payload":[{...}, ...]}                                    sweep
-//   {"id":"j4","ok":true,"status":{...counters...}}             status
+//   {"id":"j5","ok":true,"status":{...counters...}}             status
 //   {"id":"jX","ok":false,"error":"..."}                        any failure
 //
+// A lint job forces the per-stage rule checks and dataflow analyses on
+// (check_rules + check_analysis) and reduces the cached full payload to
+// the lint verdict, so it rides the same cache-first wave path as
+// power_eval: a convert with checks on fills the cache entry a later lint
+// answers from, and vice versa.
+//
 // Field defaults: preset "paper", workload "paper", cycles 96, seed 7,
-// lanes 1, check_rules false. Unknown fields are ignored; a malformed
+// lanes 1, check_rules and check_analysis false. Unknown fields are
+// ignored; a malformed
 // line or an unknown type/enum value produces an ok:false response, never
 // a dropped connection or a crash. Every field that affects results is
 // part of the cache key, so two requests share a cache entry iff they
@@ -37,7 +46,14 @@
 
 namespace tp::serve {
 
-enum class JobType { kConvert, kPowerEval, kMatrixSweep, kStatus, kShutdown };
+enum class JobType {
+  kConvert,
+  kPowerEval,
+  kLint,
+  kMatrixSweep,
+  kStatus,
+  kShutdown,
+};
 
 std::string_view job_type_name(JobType type);
 
@@ -48,7 +64,8 @@ struct JobSpec {
   std::uint64_t cycles = 96;
   std::uint64_t seed = 7;
   std::uint64_t lanes = 1;
-  bool check_rules = false;  // lint checkpoints (part of the cache key)
+  bool check_rules = false;     // lint checkpoints (part of the cache key)
+  bool check_analysis = false;  // dataflow-analysis checkpoints (cache key)
 };
 
 struct Request {
@@ -87,5 +104,11 @@ std::string error_response(std::string_view id, std::string_view message);
 /// cache can store only full payloads and still serve byte-identical
 /// power_eval responses.
 std::string power_payload(std::string_view full_payload_json);
+
+/// Reduces a full convert payload to the lint payload: identity fields
+/// plus the per-stage lint verdict (lint_clean, lint_stages,
+/// lint_first_violation). Deterministic bytes-to-bytes like
+/// power_payload().
+std::string lint_payload(std::string_view full_payload_json);
 
 }  // namespace tp::serve

@@ -111,6 +111,13 @@ std::vector<Outcome> Server::run_wave(const std::vector<std::string>& lines) {
     flow::FlowOptions options;
     flow::options_from_preset(req.spec.preset, &options);  // parse validated
     options.check_rules = req.spec.check_rules;
+    options.check_analysis = req.spec.check_analysis;
+    if (req.type == JobType::kLint) {
+      // A lint job IS a request for the checks; forcing them here keeps the
+      // cache key shared with an explicit convert+checks request.
+      options.check_rules = true;
+      options.check_analysis = true;
+    }
     circuits::Workload workload = circuits::Workload::kPaperDefault;
     flow::workload_from_name(req.spec.workload, &workload);
 
@@ -253,7 +260,8 @@ std::vector<Outcome> Server::run_wave(const std::vector<std::string>& lines) {
         break;
       }
       case JobType::kConvert:
-      case JobType::kPowerEval: {
+      case JobType::kPowerEval:
+      case JobType::kLint: {
         const Cell& cell = cells[p.cells.front()];
         out.latency_s = cell.done_at;
         out.cached = cell.cached;
@@ -265,6 +273,8 @@ std::vector<Outcome> Server::run_wave(const std::vector<std::string>& lines) {
         }
         const std::string payload = req.type == JobType::kPowerEval
                                         ? power_payload(cell.payload)
+                                    : req.type == JobType::kLint
+                                        ? lint_payload(cell.payload)
                                         : cell.payload;
         out.line = ok_response(req.id, cell.cached, payload);
         out.ok = true;

@@ -63,8 +63,18 @@ struct Analysis {
   std::vector<std::pair<CellId, double>> setup_slacks;
 };
 
+/// Per-(class, net) critical fan-in recorded during the max propagate plus
+/// the per-register arrival records — enough to walk launch chains after
+/// the fixpoint (borrow_profile()). Opt-in: tracking costs memory and time
+/// the hot callers (min_period_ps, repair_hold) do not want.
+struct BorrowTrace {
+  std::vector<std::vector<NetId>> pred;  // argmax fan-in net per class
+  std::vector<BorrowRecord> records;
+};
+
 Analysis analyze(const Netlist& netlist, const CellLibrary& library,
-                 const TimingOptions& options) {
+                 const TimingOptions& options,
+                 BorrowTrace* trace = nullptr) {
   Analysis analysis;
   TimingReport& report = analysis.report;
   const auto period = static_cast<double>(netlist.clocks().period_ps);
@@ -96,6 +106,9 @@ Analysis analyze(const Netlist& netlist, const CellLibrary& library,
       num_classes, std::vector<double>(netlist.num_nets(), kNegInf));
   std::vector<std::vector<double>> arr_min(
       num_classes, std::vector<double>(netlist.num_nets(), kPosInf));
+  if (trace != nullptr) {
+    trace->pred.assign(num_classes, std::vector<NetId>(netlist.num_nets()));
+  }
 
   // Primary-input seeds.
   const std::size_t pi_class = class_of(Window{0.0, 0.0});
@@ -124,14 +137,21 @@ Analysis analyze(const Netlist& netlist, const CellLibrary& library,
                    : library.params(cell.kind).intrinsic_ps;
       for (std::size_t c = 0; c < num_classes; ++c) {
         double best = maximize ? kNegInf : kPosInf;
+        NetId best_in;
         for (const NetId in : cell.ins) {
           const double a = arr[c][in.value()];
-          best = maximize ? std::max(best, a) : std::min(best, a);
+          if (maximize ? a > best : a < best) {
+            best = a;
+            best_in = in;
+          }
         }
         if (best <= kNegInf || best >= kPosInf) {
           arr[c][cell.out.value()] = best;
         } else {
           arr[c][cell.out.value()] = best + delay;
+        }
+        if (maximize && trace != nullptr) {
+          trace->pred[c][cell.out.value()] = best_in;
         }
       }
     }
@@ -185,6 +205,59 @@ Analysis analyze(const Netlist& netlist, const CellLibrary& library,
   }
   report.iterations = iterations;
   report.converged = !changed;
+
+  // Borrow records: per register, the worst capture-frame arrival and the
+  // launching register on the path that produced it. The final propagate
+  // pass of the fixpoint left `trace->pred` consistent with arr_max.
+  if (trace != nullptr) {
+    trace->records.reserve(registers.size());
+    for (const CellId id : registers) {
+      const Cell& cell = netlist.cell(id);
+      const Window& w = windows[id.value()];
+      const double shift_ref = cell.kind == CellKind::kLatchP ? w.r : w.f;
+      BorrowRecord rec;
+      rec.cell = id;
+      rec.open_ps = w.r;
+      rec.close_ps = w.f;
+      double best = kNegInf;
+      std::size_t best_class = 0;
+      NetId best_net;
+      for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
+        if (static_cast<int>(pin) == clock_pin(cell.kind)) continue;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          const double a = arr_max[c][cell.ins[pin].value()];
+          if (a <= kNegInf) continue;
+          const double shifted =
+              a - period * cycle_shift(classes[c].second, shift_ref);
+          if (shifted > best + 1e-9) {
+            best = shifted;
+            best_class = c;
+            best_net = cell.ins[pin];
+          }
+        }
+      }
+      if (best > kNegInf) {
+        rec.has_arrival = true;
+        rec.arrival_ps = best;
+        rec.borrow_ps = std::max(0.0, std::min(best, w.f) - w.r);
+        // Walk the critical fan-in chain back to the launching register.
+        NetId net = best_net;
+        for (std::size_t step = 0; step <= netlist.num_cells(); ++step) {
+          const CellId drv = netlist.net(net).driver;
+          if (!drv.valid()) break;
+          const Cell& dc = netlist.cell(drv);
+          if (is_register(dc.kind)) {
+            rec.upstream = drv;
+            break;
+          }
+          if (!is_combinational(dc.kind) || is_clock_cell(dc.kind)) break;
+          net = trace->pred[best_class][net.value()];
+          if (!net.valid()) break;
+        }
+      }
+      trace->records.push_back(rec);
+    }
+  }
 
   // Setup / hold checks at every register.
   report.setup_ok = true;
@@ -271,6 +344,91 @@ Analysis analyze(const Netlist& netlist, const CellLibrary& library,
 TimingReport check_timing(const Netlist& netlist, const CellLibrary& library,
                           const TimingOptions& options) {
   return analyze(netlist, library, options).report;
+}
+
+MinDelayProfile min_delay_profile(const Netlist& netlist,
+                                  const CellLibrary& library,
+                                  const TimingOptions& options) {
+  MinDelayProfile prof;
+  const Levelization lev = levelize(netlist);
+  const std::vector<CellId> registers = netlist.registers();
+
+  std::vector<Window> windows(netlist.num_cells());
+  std::vector<std::pair<double, double>> classes{{0.0, 0.0}};
+  for (const CellId id : registers) {
+    windows[id.value()] = register_window(netlist, netlist.cell(id));
+    classes.push_back({windows[id.value()].r, windows[id.value()].f});
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  const std::size_t num_classes = classes.size();
+  auto class_of = [&](const Window& w) {
+    return static_cast<std::size_t>(
+        std::lower_bound(classes.begin(), classes.end(),
+                         std::make_pair(w.r, w.f)) -
+        classes.begin());
+  };
+
+  prof.classes.reserve(num_classes);
+  for (const auto& [open, close] : classes) {
+    prof.classes.push_back({open, close});
+  }
+  prof.pi_class = class_of(Window{0.0, 0.0});
+  const std::size_t num_nets = netlist.num_nets();
+  prof.arrival_ps.assign(
+      num_classes,
+      std::vector<double>(num_nets, MinDelayProfile::kUnreachable));
+  prof.pred.assign(num_classes, std::vector<NetId>(num_nets));
+  prof.launch.assign(num_classes, std::vector<CellId>(num_nets));
+
+  for (const CellId pi : netlist.data_inputs()) {
+    const NetId net = netlist.cell(pi).out;
+    prof.arrival_ps[prof.pi_class][net.value()] = options.input_delay_ps;
+  }
+  for (const CellId id : registers) {
+    const Cell& cell = netlist.cell(id);
+    const Window& w = windows[id.value()];
+    const std::size_t c = class_of(w);
+    const double depart = w.r + library.params(cell.kind).intrinsic_ps;
+    if (depart < prof.arrival_ps[c][cell.out.value()]) {
+      prof.arrival_ps[c][cell.out.value()] = depart;
+      prof.launch[c][cell.out.value()] = id;
+    }
+  }
+  // One topological pass: min seeds are fixed (data cannot leave a register
+  // before its window opens), so no fixpoint is needed.
+  for (const CellId id : lev.comb_order) {
+    const Cell& cell = netlist.cell(id);
+    if (is_clock_cell(cell.kind) || !cell.out.valid()) continue;
+    const double delay = library.params(cell.kind).intrinsic_ps;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      double best = MinDelayProfile::kUnreachable;
+      NetId best_in;
+      for (const NetId in : cell.ins) {
+        const double a = prof.arrival_ps[c][in.value()];
+        if (a < best) {
+          best = a;
+          best_in = in;
+        }
+      }
+      if (best >= MinDelayProfile::kUnreachable) continue;
+      const std::uint32_t out = cell.out.value();
+      if (best + delay < prof.arrival_ps[c][out]) {
+        prof.arrival_ps[c][out] = best + delay;
+        prof.pred[c][out] = best_in;
+        prof.launch[c][out] = prof.launch[c][best_in.value()];
+      }
+    }
+  }
+  return prof;
+}
+
+std::vector<BorrowRecord> borrow_profile(const Netlist& netlist,
+                                         const CellLibrary& library,
+                                         const TimingOptions& options) {
+  BorrowTrace trace;
+  analyze(netlist, library, options, &trace);
+  return std::move(trace.records);
 }
 
 std::int64_t min_period_ps(const Netlist& netlist,

@@ -59,6 +59,58 @@ struct TimingReport {
 TimingReport check_timing(const Netlist& netlist, const CellLibrary& library,
                           const TimingOptions& options = {});
 
+/// Earliest-arrival (min-delay) bounds per launch class, with witness
+/// back-pointers. Arrivals are measured from the launching cycle's start:
+/// a register in class c launches no earlier than open_ps + clk2q_min, a
+/// primary input no earlier than input_delay_ps. The min-delay race
+/// analysis (src/analysis/race.cpp) compares these bounds against
+/// overlapping transparency windows.
+struct MinDelayProfile {
+  /// arrival_ps value meaning "no combinational path from this class".
+  static constexpr double kUnreachable = 1e18;
+
+  struct LaunchClass {
+    double open_ps = 0;
+    double close_ps = 0;
+  };
+  std::vector<LaunchClass> classes;  // sorted by (open, close), unique
+  std::size_t pi_class = 0;          // index of the zero-width PI class
+
+  // All indexed [class][net.value()].
+  std::vector<std::vector<double>> arrival_ps;
+  /// Fan-in net realizing the min arrival (invalid at seeds).
+  std::vector<std::vector<NetId>> pred;
+  /// Launching register of the min path (invalid for PI-launched paths).
+  std::vector<std::vector<CellId>> launch;
+
+  [[nodiscard]] bool reachable(std::size_t cls, NetId net) const {
+    return arrival_ps[cls][net.value()] < kUnreachable;
+  }
+};
+
+MinDelayProfile min_delay_profile(const Netlist& netlist,
+                                  const CellLibrary& library,
+                                  const TimingOptions& options = {});
+
+/// One record per register out of the latest-arrival (time-borrowing)
+/// fixpoint: the capture-frame arrival A_i, the borrow it implies beyond
+/// the window open, and the launching register on the critical path — the
+/// back-pointers the borrowing-chain analysis (src/analysis/borrow.cpp)
+/// walks to accumulate per-chain borrow.
+struct BorrowRecord {
+  CellId cell;
+  double open_ps = 0;     // window open r_i
+  double close_ps = 0;    // window close f_i
+  double arrival_ps = 0;  // capture-frame latest arrival A_i
+  double borrow_ps = 0;   // max(0, min(A_i, f_i) - r_i); 0 for flip-flops
+  CellId upstream;        // critical-path launcher (invalid: PI or none)
+  bool has_arrival = false;
+};
+
+std::vector<BorrowRecord> borrow_profile(const Netlist& netlist,
+                                         const CellLibrary& library,
+                                         const TimingOptions& options = {});
+
 /// Smallest period (binary search, ps resolution `step_ps`) at which setup
 /// passes, scaling all phase windows proportionally. Returns hi bound + 1
 /// when even `hi_ps` fails.

@@ -33,6 +33,12 @@ void ArgParser::add_value(std::string name, int* target, std::string help,
                             std::move(help), Kind::kInt, target});
 }
 
+void ArgParser::add_value(std::string name, double* target,
+                          std::string help, std::string metavar) {
+  options_.push_back(Option{std::move(name), std::move(metavar),
+                            std::move(help), Kind::kDouble, target});
+}
+
 void ArgParser::add_list(std::string name,
                          std::vector<std::string>* target, std::string help,
                          std::string metavar) {
@@ -63,6 +69,9 @@ bool ArgParser::apply(const Option& option, const std::string& value,
         break;
       case Kind::kInt:
         *static_cast<int*>(option.target) = std::stoi(value);
+        break;
+      case Kind::kDouble:
+        *static_cast<double*>(option.target) = std::stod(value);
         break;
       case Kind::kList:
         static_cast<std::vector<std::string>*>(option.target)

@@ -37,6 +37,8 @@ class ArgParser {
                  std::string metavar = "N");
   void add_value(std::string name, int* target, std::string help,
                  std::string metavar = "N");
+  void add_value(std::string name, double* target, std::string help,
+                 std::string metavar = "X");
   /// Repeatable `--name VALUE`; each occurrence appends.
   void add_list(std::string name, std::vector<std::string>* target,
                 std::string help, std::string metavar = "VALUE");
@@ -60,7 +62,7 @@ class ArgParser {
   [[nodiscard]] std::string usage() const;
 
  private:
-  enum class Kind { kFlag, kString, kSize, kInt, kList };
+  enum class Kind { kFlag, kString, kSize, kInt, kDouble, kList };
   struct Option {
     std::string name;
     std::string metavar;

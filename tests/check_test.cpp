@@ -3,14 +3,18 @@
 // clean-flow sweeps, and the per-stage blame integration in run_flow().
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "src/check/checker.hpp"
+#include "src/check/rules.hpp"
 #include "src/circuits/benchmark.hpp"
 #include "src/circuits/workload.hpp"
 #include "src/flow/flow.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/util/json.hpp"
 #include "src/util/log.hpp"
 
 namespace tp::check {
@@ -405,6 +409,32 @@ TEST(CheckRules, DisabledRuleEmitsNothing) {
   EXPECT_TRUE(report.clean());
 }
 
+// --- window primitives ------------------------------------------------------
+
+TEST(CheckWindows, WindowSetAddClampsAtCapacityAndDropsEmpties) {
+  WindowSet w;
+  w.add(100, 50);  // inverted: ignored
+  w.add(100, 100);  // empty: ignored
+  EXPECT_TRUE(w.empty());
+  w.add(0, 1000);
+  w.add(2000, 3000);
+  ASSERT_EQ(w.n, 2);
+  // A third span must be dropped, not written past the array (the original
+  // clamp checked `n > size()` and let span[2] corrupt the stack).
+  w.add(1200, 1800);
+  EXPECT_EQ(w.n, 2);
+  EXPECT_EQ(w.span[0][0], 0);
+  EXPECT_EQ(w.span[0][1], 1000);
+  EXPECT_EQ(w.span[1][0], 2000);
+  EXPECT_EQ(w.span[1][1], 3000);
+
+  WindowSet other;
+  other.add(1200, 1800);
+  EXPECT_FALSE(windows_overlap(w, other));
+  other.add(900, 1100);
+  EXPECT_TRUE(windows_overlap(w, other));
+}
+
 // --- waivers ----------------------------------------------------------------
 
 TEST(CheckWaivers, GlobMatch) {
@@ -469,6 +499,36 @@ TEST(CheckWaivers, ParseAcceptsCommentsAndRejectsUnknownRules) {
   EXPECT_THROW(WaiverSet::parse(bad), Error);
 }
 
+TEST(CheckWaivers, WaiverFileRoundTripWaivesEveryFinding) {
+  Chain c = three_phase_chain();
+  c.nl.set_phase(c.c_p3, Phase::kP1);
+  c.nl.replace_input(c.c_p3, 1, c.p1n);
+  const NetId undriven = c.nl.add_net("no_driver");
+  c.nl.replace_input(c.a_p2, 1, undriven);
+
+  const CheckReport before = run_checks(c.nl);
+  ASSERT_FALSE(before.clean());
+
+  // Baseline written to disk and re-read through the file entry point: the
+  // path lint_cli --waive takes.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "check_waiver_file";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path file = dir / "baseline.waive";
+  {
+    std::ofstream out(file);
+    out << before.to_baseline();
+  }
+  CheckOptions options;
+  options.waivers = WaiverSet::parse_file(file.string());
+  const CheckReport after = run_checks(c.nl, options);
+  EXPECT_TRUE(after.clean()) << after.to_text();
+  EXPECT_EQ(after.waived, before.errors + before.warnings);
+
+  EXPECT_THROW(WaiverSet::parse_file((dir / "missing.waive").string()),
+               Error);
+}
+
 // --- report formats ---------------------------------------------------------
 
 TEST(CheckReportFormats, TextAndJsonNameTheRule) {
@@ -483,6 +543,42 @@ TEST(CheckReportFormats, TextAndJsonNameTheRule) {
   EXPECT_NE(json.find("\"design\":\"chain\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"transparency-race\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"clean\":false"), std::string::npos) << json;
+}
+
+TEST(CheckReportFormats, JsonEmissionParsesAndEscapesSpecials) {
+  // Hand-built diagnostics with every character class the writer must
+  // escape; finalize_report() is the same path run_checks() takes.
+  Netlist nl("json\"design");
+  Diagnostic diag;
+  diag.rule = RuleId::kFloatingNet;
+  diag.severity = Severity::kWarning;
+  diag.message = "quote \" backslash \\ newline \n tab \t bell \x07 done";
+  diag.cells = {"cell<a>", "cell\"b\""};
+  diag.nets = {"n\\1"};
+  diag.hint = "hint with \"quotes\"";
+  const CheckReport report = finalize_report(nl, {diag}, {});
+
+  util::Json parsed;
+  std::string error;
+  ASSERT_TRUE(util::Json::parse(report.to_json(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.get_string("design", ""), "json\"design");
+  EXPECT_EQ(parsed.get_u64("warnings", 0), 1u);
+  EXPECT_FALSE(parsed.get_bool("clean", true));
+  const util::Json* counts = parsed.find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->get_u64("floating-net", 0), 1u);
+  const util::Json* diags = parsed.find("diagnostics");
+  ASSERT_NE(diags, nullptr);
+  ASSERT_EQ(diags->items().size(), 1u);
+  const util::Json& d = diags->items()[0];
+  // The escaped string round-trips byte-identically through the parser.
+  EXPECT_EQ(d.get_string("message", ""), diag.message);
+  EXPECT_EQ(d.get_string("hint", ""), diag.hint);
+  EXPECT_EQ(d.get_string("rule", ""), "floating-net");
+  const util::Json* cells = d.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->items().size(), 2u);
+  EXPECT_EQ(cells->items()[1].as_string(), "cell\"b\"");
 }
 
 TEST(CheckReportFormats, BaselineRoundTripWaivesEveryFinding) {

@@ -297,6 +297,8 @@ TEST(Protocol, RoundTripsEveryJobType) {
       R"("preset":"fast","workload":"coremark","cycles":48,"seed":11,)"
       R"("lanes":4,"check_rules":true})",
       R"({"id":"p1","type":"power_eval","benchmark":"s1238"})",
+      R"({"id":"l1","type":"lint","benchmark":"s1196","style":"3p",)"
+      R"("preset":"fast","cycles":16,"check_analysis":true})",
       R"({"id":"m1","type":"matrix_sweep","benchmarks":["s1196","s1238"],)"
       R"("styles":["ff","3p"],"preset":"no-gating"})",
       R"({"id":"s1","type":"status"})",
@@ -321,6 +323,7 @@ TEST(Protocol, RoundTripsEveryJobType) {
     EXPECT_EQ(first.spec.seed, second.spec.seed);
     EXPECT_EQ(first.spec.lanes, second.spec.lanes);
     EXPECT_EQ(first.spec.check_rules, second.spec.check_rules);
+    EXPECT_EQ(first.spec.check_analysis, second.spec.check_analysis);
   }
 }
 
@@ -424,6 +427,29 @@ TEST(Server, PowerEvalSharesTheConvertCacheEntry) {
   EXPECT_TRUE(power.cached);  // same computation, reduced payload
   EXPECT_NE(power.line.find("\"power_mw\""), std::string::npos);
   EXPECT_EQ(power.line.find("\"stream_hash\""), std::string::npos);
+}
+
+TEST(Server, LintJobSharesTheFullCheckConvertCacheEntry) {
+  Server server(quick_options(2));
+  // A convert with both check passes enabled computes the same wave a lint
+  // job forces, so the lint answer must come straight from its cache entry.
+  const Outcome convert = server.handle_line(
+      R"({"id":"c","type":"convert","benchmark":"s1238","style":"3p",)"
+      R"("preset":"fast","cycles":16,"check_rules":true,)"
+      R"("check_analysis":true})");
+  ASSERT_TRUE(convert.ok);
+  const Outcome lint = server.handle_line(
+      R"({"id":"l","type":"lint","benchmark":"s1238","style":"3p",)"
+      R"("preset":"fast","cycles":16})");
+  ASSERT_TRUE(lint.ok);
+  EXPECT_TRUE(lint.cached);  // same computation, reduced payload
+  EXPECT_NE(lint.line.find("\"lint_clean\":true"), std::string::npos)
+      << lint.line;
+  EXPECT_NE(lint.line.find("\"lint_stages\""), std::string::npos);
+  // Identity fields survive the reduction; heavyweight ones do not.
+  EXPECT_NE(lint.line.find("\"benchmark\":\"s1238\""), std::string::npos);
+  EXPECT_EQ(lint.line.find("\"stream_hash\""), std::string::npos);
+  EXPECT_EQ(lint.line.find("\"power_mw\""), std::string::npos);
 }
 
 TEST(Server, SweepDedupesAndFailsPerCell) {
