@@ -1,0 +1,242 @@
+// backends_compare — every registered conversion backend through one
+// RunPlan, gated the same way: per-stage lint, per-stage SEC against the
+// FF input, and output-stream equivalence against the FF baseline row.
+// After the grid, each backend's canonical seeded violation is planted
+// into a converted netlist and the checker must flag the exact rule the
+// backend promised — proving the per-backend rule sets are non-vacuous.
+//
+// Writes BENCH_backends.json (one row per registered backend with mean
+// power/area and summed runtime over the grid) for the CI perf trail.
+//
+//   $ ./bench/backends_compare [--quick] [--cycles N] [--lanes N]
+//                              [--threads N] [--out FILE]
+//
+// Exit status: 0 when every gate holds on every backend, 1 otherwise,
+// 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/flow/backend.hpp"
+#include "src/flow/matrix.hpp"
+#include "src/transform/clock_gating.hpp"
+#include "src/util/argparse.hpp"
+#include "src/util/executor.hpp"
+#include "src/util/json.hpp"
+
+using namespace tp;
+using namespace tp::flow;
+
+namespace {
+
+/// Aggregated grid row for one backend.
+struct BackendRow {
+  const ConversionBackend* backend = nullptr;
+  int benchmarks = 0;  // grid cells that ran
+  int errors = 0;      // cells whose flow failed outright
+  double registers = 0, area_um2 = 0, total_mw = 0, clock_mw = 0;
+  double runtime_s = 0;  // summed task wall-clock
+  bool lint_clean = true;
+  bool sec_proven = true;
+  bool stream_equal = true;
+  bool seeded_detected = false;
+  std::string seeded_rule;
+  std::string seeded_error;
+};
+
+/// Converts `bench` with `backend` (fast options, no checks) and plants
+/// the backend's canonical violation; returns true when run_checks()
+/// reports the rule the backend promised.
+bool probe_seeded_violation(const ConversionBackend& backend,
+                            const circuits::Benchmark& bench,
+                            BackendRow* row) {
+  Netlist netlist = bench.netlist;
+  infer_clock_gating(netlist);
+  const FlowOptions options = FlowOptions::fast();
+  const CellLibrary& library = CellLibrary::nominal_28nm();
+  FlowResult scratch;
+  FlowContext ctx{
+      .netlist = netlist,
+      .options = options,
+      .library = library,
+      .result = scratch,
+      .checkpoint = [](std::string_view) {},
+      .activity = [] { return ActivityStats{}; },  // fast(): DDCG is off
+  };
+  backend.convert(ctx);
+
+  // The converted netlist must be quiet on the seeded rule before the
+  // plant — otherwise detection would be vacuous.
+  const check::RuleId rule = backend.seed_violation(netlist);
+  row->seeded_rule = check::rule_name(rule);
+  const check::CheckReport report = check::run_checks(netlist);
+  return report.count(rule) > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cycles = 0, lanes = 1, threads = 0;
+  bool quick = false;
+  std::string out_file = "BENCH_backends.json";
+
+  util::ArgParser parser(
+      "backends_compare",
+      "run every registered conversion backend through the same grid with "
+      "lint + SEC + stream gates and per-backend seeded-violation probes");
+  parser.add_flag("--quick", &quick,
+                  "small grid for CI smoke (s5378 only, 48 cycles)");
+  parser.add_value("--cycles", &cycles,
+                   "simulated cycles (default 96, quick 48)");
+  parser.add_value("--lanes", &lanes,
+                   "stimulus lanes per task, 1-64 (default 1)");
+  parser.add_value("--threads", &threads,
+                   "worker threads (default TP_THREADS or hardware)");
+  parser.add_value("--out", &out_file,
+                   "JSON output path (default BENCH_backends.json)", "FILE");
+  parser.parse_or_exit(argc, argv);
+
+  RunPlan plan;
+  plan.benchmarks = quick
+                        ? std::vector<std::string>{"s5378"}
+                        : std::vector<std::string>{"s5378", "s9234", "s13207"};
+  plan.styles.clear();
+  for (const ConversionBackend* backend : backend_registry()) {
+    plan.styles.push_back(backend->id());
+  }
+  plan.cycles = cycles > 0 ? cycles : (quick ? 48 : 96);
+  plan.lanes = lanes;
+  plan.options = FlowOptions::fast();
+  plan.options.check_rules = true;
+  plan.options.check_equivalence = true;
+
+  std::printf("backends_compare: %zu benchmark(s) x %zu backend(s), "
+              "%zu cycles\n\n",
+              plan.benchmarks.size(), plan.styles.size(), plan.cycles);
+  std::printf("%-8s %-4s %7s %9s %9s %7s | %-5s %-4s %-6s\n", "design",
+              "bknd", "regs", "area um2", "total mW", "time s", "lint",
+              "sec", "stream");
+
+  util::Executor executor(threads);
+  const std::vector<MatrixResult> results = run_matrix(plan, executor);
+
+  std::map<DesignStyle, BackendRow> rows;
+  for (const ConversionBackend* backend : backend_registry()) {
+    rows[backend->id()].backend = backend;
+  }
+
+  // Streams are comparable across backends of one benchmark (task_seed is
+  // style-independent); the FF row arrives first in plan order.
+  std::map<std::string, const FlowResult*> reference;
+  int failures = 0;
+  for (const MatrixResult& r : results) {
+    BackendRow& row = rows[r.task.style];
+    if (!r.ok()) {
+      std::printf("%-8s %-4s ERROR %s\n", r.task.benchmark.c_str(),
+                  std::string(style_name(r.task.style)).c_str(),
+                  r.error.c_str());
+      ++row.errors;
+      ++failures;
+      continue;
+    }
+    const bool lint_ok = r.result.lint.all_clean();
+    const bool sec_ok = r.result.equiv.all_proven();
+    bool stream_ok = true;
+    if (r.task.style == DesignStyle::kFlipFlop) {
+      reference[r.task.benchmark] = &r.result;
+    } else if (const FlowResult* ff = reference[r.task.benchmark]) {
+      stream_ok = streams_equal(ff->outputs, r.result.outputs);
+    }
+    row.benchmarks += 1;
+    row.registers += r.result.registers;
+    row.area_um2 += r.result.area_um2;
+    row.total_mw += r.result.power.total_mw();
+    row.clock_mw += r.result.power.clock_mw;
+    row.runtime_s += r.seconds;
+    row.lint_clean = row.lint_clean && lint_ok;
+    row.sec_proven = row.sec_proven && sec_ok;
+    row.stream_equal = row.stream_equal && stream_ok;
+    if (!lint_ok || !sec_ok || !stream_ok) ++failures;
+    std::printf("%-8s %-4s %7d %9.0f %9.3f %7.2f | %-5s %-4s %-6s\n",
+                r.task.benchmark.c_str(),
+                std::string(style_name(r.task.style)).c_str(),
+                r.result.registers, r.result.area_um2,
+                r.result.power.total_mw(), r.seconds,
+                lint_ok ? "ok" : "FAIL", sec_ok ? "ok" : "FAIL",
+                stream_ok ? "ok" : "FAIL");
+    std::fflush(stdout);
+  }
+
+  // Seeded-violation probes: each backend plants its canonical illegality
+  // into a converted copy of the smallest grid benchmark, and the checker
+  // must report exactly the promised rule.
+  std::printf("\nseeded-violation probes (%s):\n",
+              plan.benchmarks.front().c_str());
+  const circuits::Benchmark seed_bench =
+      circuits::make_benchmark(plan.benchmarks.front());
+  for (auto& [style, row] : rows) {
+    try {
+      row.seeded_detected =
+          probe_seeded_violation(*row.backend, seed_bench, &row);
+    } catch (const Error& e) {
+      row.seeded_detected = false;
+      row.seeded_error = e.what();
+    }
+    if (!row.seeded_detected) ++failures;
+    std::printf("  %-4s plants %-22s %s%s%s\n",
+                std::string(row.backend->display_name()).c_str(),
+                row.seeded_rule.empty() ? "(convert failed)"
+                                        : row.seeded_rule.c_str(),
+                row.seeded_detected ? "detected" : "MISSED",
+                row.seeded_error.empty() ? "" : " — ",
+                row.seeded_error.c_str());
+  }
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("backends_compare");
+  w.key("quick").value(quick);
+  w.key("cycles").value(static_cast<std::uint64_t>(plan.cycles));
+  w.key("lanes").value(static_cast<std::uint64_t>(plan.lanes));
+  w.key("benchmarks").begin_array();
+  for (const std::string& b : plan.benchmarks) w.value(b);
+  w.end_array();
+  w.key("backends").begin_array();
+  for (const auto& [style, row] : rows) {
+    const double n = row.benchmarks > 0 ? row.benchmarks : 1;
+    w.begin_object();
+    w.key("backend").value(row.backend->token());
+    w.key("display").value(row.backend->display_name());
+    w.key("cells_run").value(static_cast<std::uint64_t>(row.benchmarks));
+    w.key("errors").value(static_cast<std::uint64_t>(row.errors));
+    w.key("mean_registers").value(row.registers / n);
+    w.key("mean_area_um2").value(row.area_um2 / n);
+    w.key("mean_total_mw").value(row.total_mw / n);
+    w.key("mean_clock_mw").value(row.clock_mw / n);
+    w.key("runtime_s").value(row.runtime_s);
+    w.key("lint_clean").value(row.lint_clean);
+    w.key("sec_proven").value(row.sec_proven);
+    w.key("stream_equal").value(row.stream_equal);
+    w.key("seeded_rule").value(row.seeded_rule);
+    w.key("seeded_detected").value(row.seeded_detected);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(out_file);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", out_file.c_str());
+    return 1;
+  }
+  out << w.take() << "\n";
+  std::printf("\nwrote %s\n", out_file.c_str());
+
+  if (failures > 0) {
+    std::fprintf(stderr, "backends_compare: %d gate failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

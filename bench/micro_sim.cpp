@@ -9,7 +9,7 @@
 // to BENCH_matrix.json to track the perf trajectory over time.
 //
 //   $ ./bench/micro_sim [--lanes N] [--cycles N] [--repeat N] [--out FILE]
-//   $ ./bench/micro_sim --circuit Plasma --style 3p
+//   $ ./bench/micro_sim --circuit Plasma --backend 3p
 //
 // Exit status: 0 when every wide stream matches its scalar reference,
 // 1 on divergence, 2 on usage errors.
@@ -19,11 +19,10 @@
 #include <vector>
 
 #include "src/circuits/workload.hpp"
+#include "src/flow/backend.hpp"
 #include "src/flow/matrix.hpp"  // flow::lane_seed
 #include "src/sim/stimulus.hpp"
 #include "src/transform/clock_gating.hpp"
-#include "src/transform/convert.hpp"
-#include "src/transform/p2_gating.hpp"
 #include "src/util/argparse.hpp"
 
 using namespace tp;
@@ -36,29 +35,39 @@ struct StyleCase {
   int snapshot_event = 0;
 };
 
-/// Builds one simulation target per requested style, through the same
-/// transforms the flow uses (the 3-P variant carries ICG/M1/M2 cells, so
-/// the benchmark covers the clock-network word paths too).
+/// Builds one simulation target per requested backend, through the same
+/// conversion pipeline run_flow() dispatches to — any registered token
+/// works, not just the original three. FlowOptions::fast() keeps the
+/// conversion cheap (no retiming, DDCG, or hold repair; the benchmark
+/// measures the simulator, not the flow) while the 3-P variant still
+/// carries ICG/M1/M2 cells, so the clock-network word paths are covered.
 StyleCase make_case(const circuits::Benchmark& bench,
-                    const std::string& style) {
-  StyleCase result;
-  result.label = style;
-  Netlist netlist = bench.netlist;
-  infer_clock_gating(netlist);
-  if (style == "ff") {
-    result.netlist = std::move(netlist);
-  } else if (style == "ms") {
-    result.netlist = to_master_slave(netlist);
-  } else if (style == "3p") {
-    ThreePhaseResult converted = to_three_phase(netlist);
-    netlist = std::move(converted.netlist);
-    gate_p2_latches(netlist);
-    apply_m2(netlist);
-    result.netlist = std::move(netlist);
-    result.snapshot_event = 1;
-  } else {
-    throw Error("unknown style '" + style + "' (expected ff|ms|3p)");
+                    const std::string& token) {
+  const flow::ConversionBackend* backend = flow::find_backend(token);
+  if (backend == nullptr) {
+    throw Error("unknown backend '" + token + "' (valid backends: " +
+                flow::backend_token_list() + ")");
   }
+  StyleCase result;
+  result.label = token;
+  result.netlist = bench.netlist;
+  infer_clock_gating(result.netlist);
+  const flow::FlowOptions options = flow::FlowOptions::fast();
+  const CellLibrary& library = CellLibrary::nominal_28nm();
+  flow::FlowResult scratch;
+  flow::FlowContext ctx{
+      .netlist = result.netlist,
+      .options = options,
+      .library = library,
+      .result = scratch,
+      .checkpoint = [](std::string_view) {},
+      .activity = [] { return ActivityStats{}; },  // fast(): DDCG is off
+  };
+  backend->convert(ctx);
+  // Multi-phase plans snapshot at the second clock event, single-phase
+  // plans at reset; mirrors run_flow()'s simulation setup.
+  result.snapshot_event =
+      result.netlist.clocks().phases.size() >= 2 ? 1 : 0;
   return result;
 }
 
@@ -74,7 +83,7 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> circuits_arg, styles_arg;
+  std::vector<std::string> circuits_arg, backends_arg, styles_arg;
   std::size_t lanes = 64, cycles = 32, repeat = 3;
   std::string out_file = "BENCH_sim.json";
 
@@ -86,10 +95,12 @@ int main(int argc, char** argv) {
                   "benchmark to include (repeatable; default s13207 s35932 "
                   "SHA256 Plasma)",
                   "NAME");
-  parser.add_list("--style", &styles_arg,
-                  "design style to include: ff|ms|3p (repeatable; default "
-                  "ff 3p)",
-                  "STYLE");
+  parser.add_list("--backend", &backends_arg,
+                  "conversion backend to include, any registered token "
+                  "(repeatable; default ff 3p)",
+                  "TOKEN");
+  parser.add_list("--style", &styles_arg, "deprecated alias of --backend",
+                  "TOKEN");
   parser.add_value("--lanes", &lanes,
                    "stimulus lanes per measurement, 1-64 (default 64)");
   parser.add_value("--cycles", &cycles, "cycles per lane (default 32)");
@@ -107,7 +118,8 @@ int main(int argc, char** argv) {
   if (circuits_arg.empty()) {
     circuits_arg = {"s13207", "s35932", "SHA256", "Plasma"};
   }
-  if (styles_arg.empty()) styles_arg = {"ff", "3p"};
+  if (backends_arg.empty()) backends_arg = styles_arg;
+  if (backends_arg.empty()) backends_arg = {"ff", "3p"};
 
   const std::uint64_t total_cycles =
       static_cast<std::uint64_t>(lanes) * cycles;
@@ -128,7 +140,7 @@ int main(int argc, char** argv) {
             bench, circuits::Workload::kPaperDefault, cycles,
             flow::lane_seed(7, l)));
       }
-      for (const std::string& style : styles_arg) {
+      for (const std::string& style : backends_arg) {
         const StyleCase target = make_case(bench, style);
         SimOptions options;
         options.snapshot_event = target.snapshot_event;

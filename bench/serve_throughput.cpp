@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/circuits/benchmark.hpp"
+#include "src/flow/backend.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/argparse.hpp"
@@ -79,10 +80,15 @@ int main(int argc, char** argv) {
   // behavior, not flow runtime.
   const std::vector<std::string> benchmarks = {"s1196", "s1238", "s1423",
                                                "s1488"};
-  const std::vector<std::string_view> styles = {"ff", "ms", "3p"};
+  // Every registered backend takes part in the job mix, so the cache keys
+  // cover the whole token space.
+  std::vector<std::string_view> backends;
+  for (const flow::ConversionBackend* backend : flow::backend_registry()) {
+    backends.push_back(backend->token());
+  }
   const std::vector<std::string_view> types = {"convert", "power_eval"};
 
-  // Distinct computations differ in seed (and cycle the benchmark/style
+  // Distinct computations differ in seed (and cycle the benchmark/backend
   // grid); repeats replay them round-robin with fresh ids.
   std::vector<std::string> lines;
   lines.reserve(requests);
@@ -93,7 +99,8 @@ int main(int argc, char** argv) {
     w.key("id").value(cat("r", i));
     w.key("type").value(types[u % types.size()]);
     w.key("benchmark").value(benchmarks[u % benchmarks.size()]);
-    w.key("style").value(styles[(u / benchmarks.size()) % styles.size()]);
+    w.key("backend").value(
+        backends[(u / benchmarks.size()) % backends.size()]);
     w.key("preset").value("fast");
     w.key("cycles").value(static_cast<std::uint64_t>(cycles));
     w.key("seed").value(static_cast<std::uint64_t>(7 + u));

@@ -4,11 +4,13 @@
 // TP_* cell library) to any of the supported design styles, report
 // registers / area / timing / power, and optionally export the result:
 //
-//   $ ./examples/flow_cli --circuit Plasma --style 3p --out plasma_3p.v
-//   $ ./examples/flow_cli --in mydesign.v --style ms --stats
-//   $ ./examples/flow_cli --circuit s5378 --style 3p --no-retime --no-ddcg
+//   $ ./examples/flow_cli --circuit Plasma --backend 3p --out plasma_3p.v
+//   $ ./examples/flow_cli --in mydesign.v --backend ms --stats
+//   $ ./examples/flow_cli --circuit s5378 --backend 3p --no-retime --no-ddcg
 //   $ ./examples/flow_cli --circuit s9234 --preset no-gating
 //   $ ./examples/flow_cli --list
+//
+// --style is a deprecated alias of --backend (see docs/backends.md).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -16,6 +18,7 @@
 
 #include "src/circuits/workload.hpp"
 #include "src/flow/matrix.hpp"  // lane_seed; pulls in flow.hpp
+#include "src/flow/serialize.hpp"
 #include "src/netlist/stats.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/timing/report.hpp"
@@ -26,7 +29,7 @@ using namespace tp::flow;
 
 int main(int argc, char** argv) {
   std::string circuit, in_file, out_file, dot_file, vcd_file;
-  std::string style_text = "3p";
+  std::string backend_text, style_text;
   std::string workload_text = "paper";
   std::string preset = "paper";
   std::size_t cycles = 192, lanes = 1;
@@ -42,8 +45,11 @@ int main(int argc, char** argv) {
                    "NAME");
   parser.add_value("--in", &in_file,
                    "structural Verilog netlist (TP_* cells)", "FILE.v");
+  parser.add_value("--backend", &backend_text,
+                   "conversion backend (see --list-backends; default 3p)",
+                   "B");
   parser.add_value("--style", &style_text,
-                   "target design style: ff|ms|3p (default 3p)", "STYLE");
+                   "deprecated alias of --backend", "B");
   parser.add_value("--workload", &workload_text,
                    "paper|dhrystone|coremark (default paper)", "W");
   parser.add_value("--cycles", &cycles, "simulated cycles (default 192)");
@@ -78,11 +84,22 @@ int main(int argc, char** argv) {
   parser.add_value("--dot", &dot_file,
                    "write the register graph (Graphviz)", "FILE.dot");
   parser.add_flag("--list", &list, "list built-in benchmarks and exit");
+  bool list_backends = false;
+  parser.add_flag("--list-backends", &list_backends,
+                  "list registered conversion backends and exit");
   parser.parse_or_exit(argc, argv);
 
   if (list) {
     for (const auto& name : circuits::benchmark_names()) {
       std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (list_backends) {
+    for (const ConversionBackend* backend : backend_registry()) {
+      std::printf("%-4s %-4s %s\n", std::string(backend->token()).c_str(),
+                  std::string(backend->display_name()).c_str(),
+                  std::string(backend->description()).c_str());
     }
     return 0;
   }
@@ -108,15 +125,14 @@ int main(int argc, char** argv) {
   if (check) options.check_equivalence = true;
   if (enabled_style) options.synthesis_cg.style = CgStyle::kEnabled;
 
+  // --backend wins over the deprecated --style alias; default 3p.
+  const std::string token = !backend_text.empty() ? backend_text
+                            : !style_text.empty() ? style_text
+                                                  : "3p";
   DesignStyle style;
-  if (style_text == "ff") {
-    style = DesignStyle::kFlipFlop;
-  } else if (style_text == "ms") {
-    style = DesignStyle::kMasterSlave;
-  } else if (style_text == "3p") {
-    style = DesignStyle::kThreePhase;
-  } else {
-    std::fprintf(stderr, "unknown --style '%s'\n%s", style_text.c_str(),
+  if (!style_from_name(token, &style)) {
+    std::fprintf(stderr, "unknown --backend '%s' (valid: %s)\n%s",
+                 token.c_str(), backend_token_list().c_str(),
                  parser.usage().c_str());
     return 2;
   }
@@ -188,6 +204,13 @@ int main(int argc, char** argv) {
     if (options.hold_repair) {
       std::printf("  hold repair      %d buffer(s), %.3f s\n",
                   r.hold.buffers_inserted, r.times.hold_s);
+    }
+    if (style == DesignStyle::kTwoPhase) {
+      std::printf("  duplicated ICGs  %d (clkbar side)\n",
+                  r.duplicated_icgs);
+    }
+    if (style == DesignStyle::kDetFf) {
+      std::printf("  clock dividers   %d\n", r.dividers);
     }
     if (style == DesignStyle::kThreePhase) {
       std::printf("  inserted p2      %d (retimed %d, merged to %d)\n",

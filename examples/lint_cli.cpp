@@ -4,13 +4,15 @@
 // design styles) or an imported structural-Verilog netlist, and report the
 // findings as text or JSON:
 //
-//   $ ./examples/lint_cli --circuit s5378 --style 3p
+//   $ ./examples/lint_cli --circuit s5378 --backend 3p
 //   $ ./examples/lint_cli --in mydesign.v --json
-//   $ ./examples/lint_cli --circuit DES3 --style 3p --stages
-//   $ ./examples/lint_cli --circuit s5378 --style 3p --analysis
+//   $ ./examples/lint_cli --circuit DES3 --backend 3p --stages
+//   $ ./examples/lint_cli --circuit s5378 --backend 3p --analysis
 //   $ ./examples/lint_cli --in mydesign.v --analysis --x-source rst
-//   $ ./examples/lint_cli --circuit MD5 --style 3p --baseline waivers.txt
+//   $ ./examples/lint_cli --circuit MD5 --backend 3p --baseline waivers.txt
 //   $ ./examples/lint_cli --list-rules
+//
+// --style is a deprecated alias of --backend (see docs/backends.md).
 //
 // Exit status: 0 clean, 1 unwaived violations, 2 usage error.
 #include <cstdio>
@@ -20,7 +22,7 @@
 
 #include "src/analysis/analysis.hpp"
 #include "src/circuits/workload.hpp"
-#include "src/flow/flow.hpp"
+#include "src/flow/serialize.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/util/argparse.hpp"
 
@@ -42,7 +44,7 @@ void list_rules() {
 
 int main(int argc, char** argv) {
   std::string circuit, in_file, waiver_file, baseline_file;
-  std::string style_text = "raw";
+  std::string backend_text, style_text;
   std::vector<std::string> disabled;
   bool json = false, quiet = false, stages = false, rules = false;
   bool analysis = false;
@@ -57,10 +59,13 @@ int main(int argc, char** argv) {
                    "built-in benchmark (see flow_cli --list)", "NAME");
   parser.add_value("--in", &in_file,
                    "structural Verilog netlist (TP_* cells)", "FILE.v");
+  parser.add_value("--backend", &backend_text,
+                   "lint the raw netlist or a converted design: raw or a "
+                   "backend token ff|ms|3p|pl|2p|det (default raw; "
+                   "conversion runs the flow)",
+                   "B");
   parser.add_value("--style", &style_text,
-                   "lint the raw netlist or a converted design: "
-                   "raw|ff|ms|3p (default raw; conversion runs the flow)",
-                   "STYLE");
+                   "deprecated alias of --backend", "B");
   parser.add_flag("--stages", &stages,
                   "rule-check after every flow stage and blame the first "
                   "offending stage (non-raw styles only)");
@@ -127,21 +132,20 @@ int main(int argc, char** argv) {
     analysis_options.check = check_options;
     check::CheckReport report;
     RuleChecks stage_reports;
-    if (style_text == "raw") {
+    // --backend wins over the deprecated --style alias; default raw.
+    const std::string token = !backend_text.empty() ? backend_text
+                              : !style_text.empty() ? style_text
+                                                    : "raw";
+    if (token == "raw") {
       report = check::run_checks(bench.netlist, check_options);
       if (analysis) {
         report.merge(analysis::run_analysis(bench.netlist, analysis_options));
       }
     } else {
       DesignStyle style;
-      if (style_text == "ff") {
-        style = DesignStyle::kFlipFlop;
-      } else if (style_text == "ms") {
-        style = DesignStyle::kMasterSlave;
-      } else if (style_text == "3p") {
-        style = DesignStyle::kThreePhase;
-      } else {
-        std::fprintf(stderr, "unknown --style '%s'\n%s", style_text.c_str(),
+      if (!style_from_name(token, &style)) {
+        std::fprintf(stderr, "unknown --backend '%s' (valid: raw, %s)\n%s",
+                     token.c_str(), backend_token_list().c_str(),
                      parser.usage().c_str());
         return 2;
       }

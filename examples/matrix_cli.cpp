@@ -5,9 +5,11 @@
 // executor, printing one row per task plus throughput totals:
 //
 //   $ ./examples/matrix_cli                          # all benchmarks, ff/ms/3p
-//   $ ./examples/matrix_cli --circuit s5378 --circuit s9234 --style 3p
+//   $ ./examples/matrix_cli --circuit s5378 --circuit s9234 --backend 3p
 //   $ ./examples/matrix_cli --threads 8 --cycles 96 --check-rules
 //   $ ./examples/matrix_cli --preset fast --json
+//
+// --style is a deprecated alias of --backend (see docs/backends.md).
 //
 // Results are bit-identical for any --threads value (see
 // docs/parallelism.md for the determinism contract).
@@ -44,7 +46,7 @@ void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> circuits_arg, styles_arg;
+  std::vector<std::string> circuits_arg, backends_arg, styles_arg;
   std::string workload_text = "paper";
   std::string preset = "paper";
   std::size_t cycles = 96, threads = 0, seed = 7, lanes = 1;
@@ -55,10 +57,12 @@ int main(int argc, char** argv) {
                     "in parallel and report per-task metrics");
   parser.add_list("--circuit", &circuits_arg,
                   "benchmark to include (repeatable; default all)", "NAME");
+  parser.add_list("--backend", &backends_arg,
+                  "conversion backend to include: ff|ms|3p|pl|2p|det "
+                  "(repeatable; default ff ms 3p)",
+                  "B");
   parser.add_list("--style", &styles_arg,
-                  "design style to include: ff|ms|3p|pl (repeatable; "
-                  "default ff ms 3p)",
-                  "STYLE");
+                  "deprecated alias of --backend", "B");
   parser.add_value("--workload", &workload_text,
                    "paper|dhrystone|coremark (default paper)", "W");
   parser.add_value("--cycles", &cycles, "simulated cycles (default 96)");
@@ -92,12 +96,16 @@ int main(int argc, char** argv) {
                  parser.usage().c_str());
     return 2;
   }
-  if (!styles_arg.empty()) {
+  // --backend wins over the deprecated --style alias.
+  const std::vector<std::string>& tokens =
+      !backends_arg.empty() ? backends_arg : styles_arg;
+  if (!tokens.empty()) {
     plan.styles.clear();
-    for (const std::string& text : styles_arg) {
+    for (const std::string& text : tokens) {
       DesignStyle style;
       if (!style_from_name(text, &style)) {
-        std::fprintf(stderr, "unknown --style '%s'\n%s", text.c_str(),
+        std::fprintf(stderr, "unknown --backend '%s' (valid: %s)\n%s",
+                     text.c_str(), backend_token_list().c_str(),
                      parser.usage().c_str());
         return 2;
       }

@@ -23,7 +23,7 @@ trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 DAEMON_PID=$!
 
 BENCHMARKS=(s1196 s1238 s1423 s1488)
-STYLES=(ff ms 3p)
+BACKENDS=(ff ms 3p pl 2p det)
 TYPES=(convert power_eval)
 
 # drop STEM LINE — atomic job-file publish (write elsewhere, rename in).
@@ -32,14 +32,16 @@ drop() {
   mv "$JOBS/$1.tmp" "$JOBS/$1.job"
 }
 
-# job INDEX UNIQUE — one request line; UNIQUE picks the computation.
+# job INDEX UNIQUE — one request line; UNIQUE picks the computation. The
+# backend rotation covers every registered token, so the smoke exercises
+# the non-default conversions (pl/2p/det) through the daemon too.
 job() {
   local u="$2"
   local bench="${BENCHMARKS[$((u % ${#BENCHMARKS[@]}))]}"
-  local style="${STYLES[$(((u / ${#BENCHMARKS[@]}) % ${#STYLES[@]}))]}"
+  local backend="${BACKENDS[$(((u / ${#BENCHMARKS[@]}) % ${#BACKENDS[@]}))]}"
   local type="${TYPES[$((u % ${#TYPES[@]}))]}"
-  printf '{"id":"j%s","type":"%s","benchmark":"%s","style":"%s","preset":"fast","cycles":12,"seed":%s}' \
-    "$1" "$type" "$bench" "$style" "$((100 + u))"
+  printf '{"id":"j%s","type":"%s","benchmark":"%s","backend":"%s","preset":"fast","cycles":12,"seed":%s}' \
+    "$1" "$type" "$bench" "$backend" "$((100 + u))"
 }
 
 # wait_results COUNT — until that many .result files exist.
@@ -85,6 +87,14 @@ if [ "$TOTAL_HITS" -lt $((UNIQUE / 2)) ]; then
   exit 1
 fi
 echo "cache hits on repeat half: $TOTAL_HITS/$UNIQUE"
+
+# The status response advertises every registered backend token.
+for backend in "${BACKENDS[@]}"; do
+  if ! grep -q "\"backends\":\[.*\"$backend\"" <<< "$STATUS"; then
+    echo "FAIL: status backends list is missing '$backend'"
+    exit 1
+  fi
+done
 
 drop quit '{"id":"quit","type":"shutdown"}'
 RC=0

@@ -101,6 +101,7 @@ void rule_xprop(check::RuleContext& ctx, const AnalysisOptions& options) {
         out = Ternary::kOne;
         break;
       case CellKind::kDff:
+      case CellKind::kDffDet:
       case CellKind::kLatchH:
       case CellKind::kLatchL:
       case CellKind::kLatchP: {
@@ -136,6 +137,15 @@ void rule_xprop(check::RuleContext& ctx, const AnalysisOptions& options) {
           const Ternary ins2[] = {en, ck};
           out = abstract_eval(CellKind::kAnd2, ins2);
         }
+        break;
+      }
+      case CellKind::kClkDiv2: {
+        // Toggle state alternates 0/1 whenever the input clock is defined;
+        // an X on the clock poisons the state permanently.
+        const Ternary ck = s.net[cell.ins[0].value()];
+        out = ck == Ternary::kBottom    ? Ternary::kBottom
+              : ck == Ternary::kUnknown ? Ternary::kUnknown
+                                        : Ternary::kVaries;
         break;
       }
       default: {  // stateless gates incl. kIcgNoLatch / clock buffers

@@ -112,6 +112,11 @@ const ClockTrace& RuleContext::clock_trace(NetId net) {
     case CellKind::kIcgNoLatch:
       trace = clock_trace(driver.ins[1]);
       break;
+    case CellKind::kClkDiv2:
+      // Halved frequency, but still the same phase root; dividers never
+      // invert (state starts low, first toggle on the first rise).
+      trace = clock_trace(driver.ins[0]);
+      break;
     case CellKind::kConst0:
     case CellKind::kConst1:
       trace.kind = ClockTraceKind::kConstant;
@@ -253,6 +258,9 @@ RuleFn rule_fn(RuleId rule) {
     case RuleId::kM1BorrowWindow: return rule_m1_borrow_window;
     case RuleId::kM2EnablePhase: return rule_m2_enable_phase;
     case RuleId::kScheduleSanity: return rule_schedule_sanity;
+    case RuleId::kTwoPhaseNonOverlap: return rule_two_phase_nonoverlap;
+    case RuleId::kPulseWidth: return rule_pulse_width;
+    case RuleId::kDetClocking: return rule_det_clocking;
     // Analysis-engine rules: no structural entry point here; they are
     // evaluated by analysis::run_analysis() (src/analysis/).
     case RuleId::kXProp:

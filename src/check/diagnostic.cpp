@@ -60,6 +60,21 @@ const RuleInfo& info(RuleId rule) {
        "windows, valid roots; phase segments above Tc/2 break the "
        "half-stage throughput bound",
        Severity::kError},
+      {"two-phase-nonoverlap", "2-phase discipline (arXiv 2605.05374)",
+       "the clk and clkbar high windows must be separated by a positive "
+       "guard gap on both sides — abutting edges leave no skew margin and "
+       "re-open the master/slave race the discipline exists to close",
+       Severity::kError},
+      {"pulse-width", "pulsed-latch discipline",
+       "a pulse clock driving pulsed latches must stay narrower than half "
+       "the cycle; wider pulses degenerate into level-sensitive operation "
+       "and unbounded hold padding",
+       Severity::kError},
+      {"det-clocking", "DET discipline (arXiv 1307.3075)",
+       "every dual-edge FF must be clocked through a leaf divide-by-two "
+       "(else it samples twice per cycle), dividers must not cascade, and "
+       "no single-edge register may share a divided clock",
+       Severity::kError},
       {"x-propagation", "A1 (reset reachability)",
        "an unknown (X) value in the post-reset state can propagate through "
        "transparency windows to a register or primary output",

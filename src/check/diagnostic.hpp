@@ -32,6 +32,13 @@ enum class RuleId : int {
   kM1BorrowWindow,     // M1 borrow phase overlaps the gated phase
   kM2EnablePhase,      // M2 cell with a same-phase enable source
   kScheduleSanity,     // C3 / SMO closing-edge and window sanity
+  // Backend-discipline rules (rules_backend.cpp). Each gates itself on the
+  // netlist properties its discipline introduces (clkbar waveform, pulsed
+  // latches, DET flip-flops), so running the full registry on any backend
+  // stays cheap and quiet.
+  kTwoPhaseNonOverlap, // 2-phase: guard gap between the clk/clkbar windows
+  kPulseWidth,         // pulsed-latch: pulse no wider than half the cycle
+  kDetClocking,        // DET FFs clocked through a leaf divide-by-two
   // Dataflow analyses (src/analysis/). They share the diagnostic, waiver,
   // and report machinery but are driven by analysis::run_analysis() rather
   // than run_checks(): run_checks() has no entry point for them.

@@ -136,6 +136,11 @@ void rule_phase_order(RuleContext& ctx);
 void rule_latch_self_loop(RuleContext& ctx);
 void rule_schedule_sanity(RuleContext& ctx);
 
+// Rule entry points (rules_backend.cpp).
+void rule_two_phase_nonoverlap(RuleContext& ctx);
+void rule_pulse_width(RuleContext& ctx);
+void rule_det_clocking(RuleContext& ctx);
+
 // Rule entry points (rules_structure.cpp).
 void rule_comb_cycle(RuleContext& ctx);
 void rule_floating_net(RuleContext& ctx);

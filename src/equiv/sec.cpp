@@ -45,7 +45,9 @@ bool phase_level(const PhaseWaveform& w, std::int64_t period, std::int64_t t) {
 }
 
 int snapshot_event_index(const Netlist& netlist) {
-  return netlist.clocks().phases.size() == 3 ? 1 : 0;
+  // Mirrors flow::simulate(): multi-phase plans (3-phase, two-phase)
+  // capture outputs after the second event of the cycle.
+  return netlist.clocks().phases.size() >= 2 ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -100,7 +102,10 @@ class CycleBuilder {
         reg_index_[id.value()] = static_cast<std::uint32_t>(m_.regs.size());
         m_.regs.push_back(id);
       } else if (cell.kind == CellKind::kIcg ||
-                 cell.kind == CellKind::kIcgM1) {
+                 cell.kind == CellKind::kIcgM1 ||
+                 cell.kind == CellKind::kClkDiv2) {
+        // Clock dividers share the ICG state slots: one bit of toggle state
+        // per cell, read back from Simulator::icg_state at reset.
         icg_index_[id.value()] = static_cast<std::uint32_t>(m_.icgs.size());
         m_.icgs.push_back(id);
       }
@@ -166,13 +171,18 @@ class CycleBuilder {
       }
       const NetId ck_net = cell.ins[clock_pin(cell.kind)];
       const Lit ck_new = clk_sample(ck_net);
-      const Lit rising = aig_.land(ck_new, lit_not(prev_[ck_net.value()]));
+      // Dual-edge FFs trigger on any clock toggle; everything else on the
+      // rising edge only.
+      const Lit trigger =
+          cell.kind == CellKind::kDffDet
+              ? aig_.lxor(ck_new, prev_[ck_net.value()])
+              : aig_.land(ck_new, lit_not(prev_[ck_net.value()]));
       const Lit held = prev_[cell.out.value()];
       Lit d = prev_[cell.ins[0].value()];
       if (cell.kind == CellKind::kDffEn) {
         d = aig_.lmux(prev_[cell.ins[1].value()], d, held);
       }
-      reg_val_[i] = aig_.lmux(rising, d, held);
+      reg_val_[i] = aig_.lmux(trigger, d, held);
     }
     // Phase 2: full settle of every live net.
     cur_.assign(nl_.num_nets(), kUnsetLit);
@@ -240,6 +250,14 @@ class CycleBuilder {
         v = aig_.land(state, ck);
         break;
       }
+      case CellKind::kClkDiv2: {
+        // The simulator's clock propagation toggles the divider before any
+        // register samples, so registers see the post-toggle state.
+        const Lit rising = aig_.land(clk_sample(cell.ins[0]),
+                                     lit_not(prev_[cell.ins[0].value()]));
+        v = aig_.lxor(icg_prev_[icg_index_[wire.driver.value()]], rising);
+        break;
+      }
       default:
         v = prev_[n];  // data logic feeding a clock pin: pre-event value
         break;
@@ -303,6 +321,7 @@ class CycleBuilder {
         return kLitTrue;
       case CellKind::kDff:
       case CellKind::kDffEn:
+      case CellKind::kDffDet:
       case CellKind::kLatchP:
         return reg_val_[reg_index_[wire.driver.value()]];
       case CellKind::kLatchH:
@@ -314,6 +333,16 @@ class CycleBuilder {
       case CellKind::kIcg:
       case CellKind::kIcgM1:
         return eval_icg(cell, wire.driver, net);
+      case CellKind::kClkDiv2: {
+        const std::uint32_t idx = icg_index_[wire.driver.value()];
+        if (park_) return icg_prev_[idx];  // stored toggle state
+        if (icg_cur_[idx] != kUnsetLit) return icg_cur_[idx];
+        const Lit rising = aig_.land(eval_net(cell.ins[0]),
+                                     lit_not(prev_[cell.ins[0].value()]));
+        const Lit state = aig_.lxor(icg_prev_[idx], rising);
+        if (assume_.empty()) icg_cur_[idx] = state;
+        return state;
+      }
       case CellKind::kOutput:
         return kLitFalse;  // unreachable: kOutput drives no net
       default:
@@ -472,6 +501,13 @@ class CycleBuilder {
     for (std::size_t j = 0; j < m_.icgs.size(); ++j) {
       if (icg_cur_[j] != kUnsetLit) continue;
       const Cell& cell = nl_.cell(m_.icgs[j]);
+      if (cell.kind == CellKind::kClkDiv2) {
+        // Divider with a dead output net: still advance its toggle state.
+        const Lit rising = aig_.land(eval_net(cell.ins[0]),
+                                     lit_not(prev_[cell.ins[0].value()]));
+        icg_cur_[j] = aig_.lxor(icg_prev_[j], rising);
+        continue;
+      }
       const Lit ck = eval_net(cell.ins[1]);
       const Lit transp = cell.kind == CellKind::kIcg ? lit_not(ck)
                                                      : eval_net(cell.ins[2]);

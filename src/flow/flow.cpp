@@ -5,38 +5,13 @@
 #include <memory>
 
 #include "src/analysis/analysis.hpp"
+#include "src/flow/backend.hpp"
 #include "src/netlist/traverse.hpp"
 #include "src/place/placer.hpp"
 #include "src/util/executor.hpp"
 
 namespace tp::flow {
 namespace {
-
-/// Retiming with timing-closure iteration: when a cut leaves a setup
-/// violation (upstream borrowing eats into the half-stage budgets), retry
-/// on a pristine copy with progressively conservative settings — larger
-/// margins, then worst-case full-borrowing launch seeds.
-RetimeResult retime_with_closure(Netlist& netlist,
-                                 const CellLibrary& library, Phase movable,
-                                 const TimingOptions& timing) {
-  struct Attempt {
-    double margin;
-    bool full_borrowing;
-  };
-  const Netlist pristine = netlist;
-  RetimeResult result;
-  for (const Attempt attempt : {Attempt{120, false}, Attempt{300, false},
-                                Attempt{120, true}, Attempt{500, true}}) {
-    netlist = pristine;
-    result = retime_inserted_latches(
-        netlist, library,
-        {.movable_phase = movable,
-         .margin_ps = attempt.margin,
-         .assume_full_borrowing = attempt.full_borrowing});
-    if (check_timing(netlist, library, timing).setup_ok) break;
-  }
-  return result;
-}
 
 /// Simulates the netlist under every stimulus lane, returning the
 /// lane-major concatenation of the per-lane output streams and leaving
@@ -49,7 +24,10 @@ OutputStream simulate(const Netlist& netlist, std::span<const Stimulus> lanes,
                       std::size_t warmup, bool wide, std::ostream* vcd,
                       ActivityStats* activity_out) {
   SimOptions options;
-  options.snapshot_event = netlist.clocks().phases.size() == 3 ? 1 : 0;
+  // Single-phase plans update registers at the t=0 event; multi-phase plans
+  // (3-phase p1, two-phase slave) open the cycle's first capturing latch at
+  // the second event, so the output snapshot waits for it.
+  options.snapshot_event = netlist.clocks().phases.size() >= 2 ? 1 : 0;
   if (wide && lanes.size() >= 2 && vcd == nullptr) {
     WideSimulator sim(netlist, lanes.size(), options);
     OutputStream stream = run_wide_stream(sim, pack_stimulus(lanes), warmup);
@@ -99,13 +77,7 @@ FlowOptions FlowOptions::no_gating() {
 }
 
 std::string_view style_name(DesignStyle style) {
-  switch (style) {
-    case DesignStyle::kFlipFlop: return "FF";
-    case DesignStyle::kMasterSlave: return "M-S";
-    case DesignStyle::kThreePhase: return "3-P";
-    case DesignStyle::kPulsedLatch: return "P-L";
-  }
-  return "?";
+  return backend_for(style).display_name();
 }
 
 FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
@@ -119,7 +91,9 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
                     const FlowOptions& options) {
   require(!lanes.empty() && lanes.size() <= kMaxSimLanes,
           "run_flow: stimulus lane count must be in [1, 64]");
-  const CellLibrary& library = CellLibrary::nominal_28nm();
+  const ConversionBackend& backend = backend_for(style);
+  CellLibrary library = CellLibrary::nominal_28nm();
+  backend.adjust_library(library);
   FlowResult result;
   result.style = style;
   Stopwatch step;
@@ -244,87 +218,28 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   checkpoint("synthesis");
   step.reset();
 
-  // 2. Conversion.
-  switch (style) {
-    case DesignStyle::kFlipFlop:
-      result.times.convert_s = step.seconds();
-      break;
-    case DesignStyle::kPulsedLatch: {
-      PulsedLatchResult converted =
-          to_pulsed_latch(netlist, options.pulsed_latch);
-      netlist = std::move(converted.netlist);
-      result.pulse_generators = converted.pulse_generators;
-      result.times.convert_s = step.seconds();
-      checkpoint("convert");
-      break;
-    }
-    case DesignStyle::kMasterSlave: {
-      netlist = to_master_slave(netlist);
-      result.times.convert_s = step.seconds();
-      checkpoint("convert");
-      step.reset();
-      if (options.retime && options.retime_master_slave) {
-        result.retime = retime_with_closure(netlist, library, Phase::kClk,
-                                            options.timing);
-        result.times.retime_s = step.seconds();
-        checkpoint("retime");
-      }
-      break;
-    }
-    case DesignStyle::kThreePhase: {
-      // ILP timed apart from the netlist rebuild (the paper reports the
-      // solver at < 1% of total run time).
-      const RegisterGraph graph = build_register_graph(netlist);
-      result.assignment = assign_phases(graph, options.assign);
-      result.times.ilp_s = step.seconds();
-      step.reset();
-
-      ThreePhaseOptions convert_options;
-      convert_options.precomputed = &result.assignment;
-      ThreePhaseResult converted = to_three_phase(netlist, convert_options);
-      netlist = std::move(converted.netlist);
-      result.inserted_p2 = converted.inserted_p2;
-      result.duplicated_icgs = converted.duplicated_icgs;
-      result.times.convert_s = step.seconds();
-      checkpoint("convert");
-      step.reset();
-
-      if (options.retime) {
-        result.retime = retime_with_closure(netlist, library, Phase::kP2,
-                                            options.timing);
-        result.times.retime_s = step.seconds();
-        checkpoint("retime");
-        step.reset();
-      }
-
-      if (options.p2_common_enable_cg) {
-        result.p2_gating =
-            gate_p2_latches(netlist, {.use_m1 = options.use_m1});
-        result.times.clock_gating_s += step.seconds();
-        checkpoint("p2-gating");
-        step.reset();
-      }
-      if (options.use_m2) {
-        result.m2 = apply_m2(netlist);
-        result.times.clock_gating_s += step.seconds();
-        checkpoint("m2");
-        step.reset();
-      }
-      if (options.ddcg) {
-        // DDCG needs switching activity of this very netlist (Sec. V:
-        // gate-level simulations drive the data-driven clock gating).
-        // Always eligible for the wide engine — the VCD option applies to
-        // the final validation simulation only.
-        ActivityStats activity;
-        simulate(netlist, lanes, options.warmup_cycles, options.wide_sim,
-                 nullptr, &activity);
-        result.ddcg = apply_ddcg(netlist, activity, options.ddcg_options);
-        result.times.clock_gating_s += step.seconds();
-        checkpoint("ddcg");
-      }
-      break;
-    }
-  }
+  // 2. Conversion: dispatch to the style's registered backend
+  // (src/flow/backend.hpp). The backend runs its whole conversion segment —
+  // including style-specific retiming and clock-gating stages — calling
+  // `checkpoint` after each stage and accounting times itself. The activity
+  // hook simulates the *current* working netlist (DDCG's data dependence);
+  // always eligible for the wide engine — the VCD option applies to the
+  // final validation simulation only.
+  FlowContext ctx{
+      .netlist = netlist,
+      .options = options,
+      .library = library,
+      .result = result,
+      .checkpoint = checkpoint,
+      .activity =
+          [&]() {
+            ActivityStats activity;
+            simulate(netlist, lanes, options.warmup_cycles, options.wide_sim,
+                     nullptr, &activity);
+            return activity;
+          },
+  };
+  backend.convert(ctx);
   step.reset();
 
   // 3. Hold repair, then timing signoff (accounted separately: hold_s is

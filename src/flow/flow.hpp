@@ -30,8 +30,10 @@
 #include "src/transform/clock_gating.hpp"
 #include "src/transform/convert.hpp"
 #include "src/transform/ddcg.hpp"
+#include "src/transform/det_ff.hpp"
 #include "src/transform/p2_gating.hpp"
 #include "src/transform/pulsed_latch.hpp"
+#include "src/transform/two_phase.hpp"
 
 namespace tp::util {
 class Executor;
@@ -39,7 +41,19 @@ class Executor;
 
 namespace tp::flow {
 
-enum class DesignStyle { kFlipFlop, kMasterSlave, kThreePhase, kPulsedLatch };
+/// One conversion backend per value; src/flow/backend.hpp holds the
+/// interface and registry. DesignStyle remains the stable wire-format id
+/// (cache keys, serialized jobs), so values are appended, never reordered.
+enum class DesignStyle {
+  kFlipFlop,
+  kMasterSlave,
+  kThreePhase,
+  kPulsedLatch,
+  kTwoPhase,
+  kDetFf,
+};
+
+inline constexpr int kNumDesignStyles = static_cast<int>(DesignStyle::kDetFf) + 1;
 
 std::string_view style_name(DesignStyle style);
 
@@ -56,6 +70,7 @@ struct FlowOptions {
   DdcgOptions ddcg_options;
   bool hold_repair = true;
   PulsedLatchOptions pulsed_latch;
+  TwoPhaseOptions two_phase;
   TimingOptions timing;
   PlaceOptions place;
   CtsOptions cts;
@@ -224,6 +239,7 @@ struct FlowResult {
   CgInferenceResult synthesis_cg;
   BufferingResult buffering;
   int pulse_generators = 0;  // pulsed-latch style
+  int dividers = 0;          // DET-FF style: kClkDiv2 cells inserted
 
   /// Per-stage SEC checkpoints (empty unless check_equivalence was set).
   EquivChecks equiv;

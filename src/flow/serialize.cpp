@@ -19,22 +19,16 @@ std::string hex16(std::uint64_t value) {
 }  // namespace
 
 bool style_from_name(std::string_view text, DesignStyle* style) {
-  if (text == "ff") *style = DesignStyle::kFlipFlop;
-  else if (text == "ms") *style = DesignStyle::kMasterSlave;
-  else if (text == "3p") *style = DesignStyle::kThreePhase;
-  else if (text == "pl") *style = DesignStyle::kPulsedLatch;
-  else return false;
+  // The backend registry is the single source of truth for tokens; every
+  // registered backend is reachable from every serialized surface.
+  const ConversionBackend* backend = find_backend(text);
+  if (backend == nullptr) return false;
+  *style = backend->id();
   return true;
 }
 
 std::string_view style_token(DesignStyle style) {
-  switch (style) {
-    case DesignStyle::kFlipFlop: return "ff";
-    case DesignStyle::kMasterSlave: return "ms";
-    case DesignStyle::kThreePhase: return "3p";
-    case DesignStyle::kPulsedLatch: return "pl";
-  }
-  return "ff";
+  return backend_for(style).token();
 }
 
 bool options_from_preset(std::string_view name, FlowOptions* options) {
@@ -61,7 +55,7 @@ std::string options_fingerprint(const FlowOptions& o) {
   // version tag when the flow grows result-affecting options that default
   // to old behavior, so old fingerprints stay honest.
   return cat(
-      "flowopts-v2",
+      "flowopts-v3",
       " cg=", static_cast<int>(o.synthesis_cg.style),
       ",", o.synthesis_cg.min_icg_group,
       " buf=", o.buffering.max_fanout,
@@ -74,6 +68,7 @@ std::string options_fingerprint(const FlowOptions& o) {
       ",", o.ddcg_options.max_fanout, ",", o.ddcg_options.use_m1,
       " hold=", o.hold_repair,
       " pl=", o.pulsed_latch.pulse_width_ps, ",", o.pulsed_latch.group_size,
+      " 2p=", o.two_phase.nonoverlap_ps,
       " timing=", o.timing.hold_uncertainty_ps, ",", o.timing.input_delay_ps,
       ",", o.timing.output_setup_ps, ",", o.timing.max_iterations,
       " place=", o.place.utilization, ",", o.place.fm_threshold,
@@ -122,6 +117,7 @@ std::string result_payload_json(const RunPlan& plan,
   w.key("inserted_p2").value(f.inserted_p2);
   w.key("duplicated_icgs").value(f.duplicated_icgs);
   w.key("pulse_generators").value(f.pulse_generators);
+  w.key("dividers").value(f.dividers);
   w.key("timing_converged").value(f.timing.converged);
   if (!f.equiv.stages.empty()) {
     w.key("sec_proven").value(f.equiv.all_proven());

@@ -18,14 +18,18 @@
 #include <string>
 #include <string_view>
 
+#include "src/flow/backend.hpp"
 #include "src/flow/matrix.hpp"
 
 namespace tp::flow {
 
-/// Parses the short style names used everywhere ("ff", "ms", "3p", "pl").
+/// Parses the short backend tokens used everywhere ("ff", "ms", "3p", "pl",
+/// "2p", "det"). Resolved through the backend registry
+/// (src/flow/backend.hpp), so new backends are parseable the moment they
+/// are registered.
 bool style_from_name(std::string_view text, DesignStyle* style);
 
-/// Short style token for the protocol/CLIs ("ff", "ms", "3p", "pl") —
+/// Short backend token for the protocol/CLIs (ConversionBackend::token) —
 /// style_name() returns the long human-readable form.
 std::string_view style_token(DesignStyle style);
 

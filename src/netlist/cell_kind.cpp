@@ -36,6 +36,8 @@ std::string_view cell_kind_name(CellKind kind) {
     case CellKind::kIcgNoLatch: return "ICGNL";
     case CellKind::kClkBuf: return "CLKBUF";
     case CellKind::kClkInv: return "CLKINV";
+    case CellKind::kDffDet: return "DFFDET";
+    case CellKind::kClkDiv2: return "CLKDIV2";
   }
   return "?";
 }
@@ -51,6 +53,7 @@ int num_inputs(CellKind kind) {
     case CellKind::kInv:
     case CellKind::kClkBuf:
     case CellKind::kClkInv:
+    case CellKind::kClkDiv2:
       return 1;
     case CellKind::kAnd2:
     case CellKind::kOr2:
@@ -59,6 +62,7 @@ int num_inputs(CellKind kind) {
     case CellKind::kXor2:
     case CellKind::kXnor2:
     case CellKind::kDff:
+    case CellKind::kDffDet:
     case CellKind::kLatchH:
     case CellKind::kLatchL:
     case CellKind::kLatchP:
@@ -111,12 +115,13 @@ bool is_combinational(CellKind kind) {
 
 bool is_register(CellKind kind) {
   return kind == CellKind::kDff || kind == CellKind::kDffEn ||
-         kind == CellKind::kLatchH || kind == CellKind::kLatchL ||
-         kind == CellKind::kLatchP;
+         kind == CellKind::kDffDet || kind == CellKind::kLatchH ||
+         kind == CellKind::kLatchL || kind == CellKind::kLatchP;
 }
 
 bool is_flip_flop(CellKind kind) {
-  return kind == CellKind::kDff || kind == CellKind::kDffEn;
+  return kind == CellKind::kDff || kind == CellKind::kDffEn ||
+         kind == CellKind::kDffDet;
 }
 
 bool samples_on_edge(CellKind kind) {
@@ -134,12 +139,13 @@ bool is_icg(CellKind kind) {
 
 bool is_clock_cell(CellKind kind) {
   return is_icg(kind) || kind == CellKind::kClkBuf ||
-         kind == CellKind::kClkInv;
+         kind == CellKind::kClkInv || kind == CellKind::kClkDiv2;
 }
 
 int clock_pin(CellKind kind) {
   switch (kind) {
     case CellKind::kDff:
+    case CellKind::kDffDet:
     case CellKind::kLatchH:
     case CellKind::kLatchL:
     case CellKind::kLatchP:
@@ -151,6 +157,7 @@ int clock_pin(CellKind kind) {
       return 2;
     case CellKind::kClkBuf:
     case CellKind::kClkInv:
+    case CellKind::kClkDiv2:
       return 0;
     default:
       return -1;

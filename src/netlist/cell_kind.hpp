@@ -58,9 +58,21 @@ enum class CellKind : std::uint8_t {
                // the internal latch is removed
   kClkBuf,     // {A}: clock-tree buffer
   kClkInv,     // {A}: clock-tree inverter
+
+  // Backend-specific cells, appended after the seed kinds so the numeric
+  // kind values (and with them netlist hashes) of existing designs never
+  // move.
+  kDffDet,     // {D, CK}: dual-edge-triggered flip-flop — samples D on BOTH
+               // clock edges (arXiv 1307.3075). Paired with kClkDiv2 so one
+               // toggle per cycle reaches the clock pin and the FF still
+               // samples once per cycle.
+  kClkDiv2,    // {CK}: clock-network divide-by-two — internal state toggles
+               // on each rising CK edge and drives the output. Converts "N
+               // rising edges" into "N toggles" for DET sinks; a gated-off
+               // upstream ICG therefore still means "no edge, hold".
 };
 
-inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kClkInv) + 1;
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kClkDiv2) + 1;
 
 /// Human-readable kind name ("AND2", "DFF", ...).
 std::string_view cell_kind_name(CellKind kind);
@@ -76,17 +88,17 @@ bool has_output(CellKind kind);
 /// stateless).
 bool is_combinational(CellKind kind);
 
-/// True for state-holding storage cells: kDff, kDffEn, kLatchH, kLatchL,
-/// kLatchP.
+/// True for state-holding storage cells: kDff, kDffEn, kDffDet, kLatchH,
+/// kLatchL, kLatchP.
 bool is_register(CellKind kind);
 
-/// True for edge-triggered registers (kDff, kDffEn).
+/// True for edge-triggered registers (kDff, kDffEn, kDffDet).
 bool is_flip_flop(CellKind kind);
 
 /// True for registers that sample on a clock edge rather than following a
-/// level: flip-flops and hold-clean pulsed latches (kLatchP). The simulator
-/// and the equivalence checker use this to pick edge-detection vs.
-/// transparent-settle semantics.
+/// level: flip-flops (incl. the dual-edge kDffDet) and hold-clean pulsed
+/// latches (kLatchP). The simulator and the equivalence checker use this to
+/// pick edge-detection vs. transparent-settle semantics.
 bool samples_on_edge(CellKind kind);
 
 /// True for level-sensitive registers (kLatchH, kLatchL). Pulsed latches
@@ -97,12 +109,13 @@ bool is_latch(CellKind kind);
 /// True for integrated-clock-gate kinds (kIcg, kIcgM1, kIcgNoLatch).
 bool is_icg(CellKind kind);
 
-/// True for cells that live on the clock network (ICGs and clock buffers).
+/// True for cells that live on the clock network (ICGs, clock buffers, and
+/// the kClkDiv2 divider). Note kClkDiv2 is stateful, not combinational.
 bool is_clock_cell(CellKind kind);
 
 /// Index of the clock input pin for sequential/clock cells, -1 otherwise.
-/// kDff -> 1, kDffEn -> 2, latches -> 1 (the gate pin), ICGs -> 1, clock
-/// buffers -> 0.
+/// kDff/kDffDet -> 1, kDffEn -> 2, latches -> 1 (the gate pin), ICGs -> 1,
+/// clock buffers and kClkDiv2 -> 0.
 int clock_pin(CellKind kind);
 
 /// Evaluate a stateless kind (is_combinational). `ins` must have

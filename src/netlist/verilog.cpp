@@ -49,6 +49,8 @@ const PinNames* pin_names(CellKind kind) {
       {CellKind::kIcgNoLatch, {"TP_ICGNL", {"EN", "CK"}, "GCLK"}},
       {CellKind::kClkBuf, {"TP_CLKBUF", {"A"}, "Y"}},
       {CellKind::kClkInv, {"TP_CLKINV", {"A"}, "Y"}},
+      {CellKind::kDffDet, {"TP_DFFDET", {"D", "CK"}, "Q"}},
+      {CellKind::kClkDiv2, {"TP_CLKDIV2", {"CK"}, "Y"}},
   };
   const auto it = kTable.find(kind);
   return it == kTable.end() ? nullptr : &it->second;

@@ -97,13 +97,17 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
         out->benchmarks.push_back(name.as_string());
       }
     }
-    if (const Json* styles = doc.find("styles");
-        styles != nullptr && styles->is_array()) {
-      for (const Json& token : styles->items()) {
+    // "backends" is the canonical grid axis; "styles" stays as a legacy
+    // alias (ignored when "backends" is present).
+    const Json* tokens = doc.find("backends");
+    if (tokens == nullptr) tokens = doc.find("styles");
+    if (tokens != nullptr && tokens->is_array()) {
+      for (const Json& token : tokens->items()) {
         flow::DesignStyle style;
         if (!token.is_string() ||
             !flow::style_from_name(token.as_string(), &style)) {
-          *error = "styles must be an array of ff|ms|3p|pl";
+          *error = cat("backends must be an array of backend tokens (",
+                       flow::backend_token_list(), ")");
           return false;
         }
         out->styles.push_back(style);
@@ -117,15 +121,19 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
     return true;
   }
 
-  // convert / power_eval / lint: one benchmark, one style.
+  // convert / power_eval / lint: one benchmark, one backend. "backend" is
+  // the canonical field; "style" stays as a legacy alias and loses when
+  // both are present.
   out->benchmark = doc.get_string("benchmark", "");
   if (out->benchmark.empty()) {
     *error = "missing benchmark";
     return false;
   }
-  const std::string style_text = doc.get_string("style", "3p");
-  if (!flow::style_from_name(style_text, &out->style)) {
-    *error = cat("unknown style '", style_text, "'");
+  const std::string token =
+      doc.get_string("backend", doc.get_string("style", "3p"));
+  if (!flow::style_from_name(token, &out->style)) {
+    *error = cat("unknown backend '", token, "' (valid backends: ",
+                 flow::backend_token_list(), ")");
     return false;
   }
   return true;
@@ -145,14 +153,14 @@ std::string request_to_json(const Request& request) {
     w.key("benchmarks").begin_array();
     for (const std::string& name : request.benchmarks) w.value(name);
     w.end_array();
-    w.key("styles").begin_array();
+    w.key("backends").begin_array();
     for (const flow::DesignStyle style : request.styles) {
       w.value(flow::style_token(style));
     }
     w.end_array();
   } else {
     w.key("benchmark").value(request.benchmark);
-    w.key("style").value(flow::style_token(request.style));
+    w.key("backend").value(flow::style_token(request.style));
   }
   w.key("preset").value(request.spec.preset);
   w.key("workload").value(request.spec.workload);

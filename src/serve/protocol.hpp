@@ -5,14 +5,21 @@
 // transport (Unix/TCP socket or job files in a drop directory — see
 // server.hpp). Six job types:
 //
-//   {"id":"j1","type":"convert","benchmark":"s5378","style":"3p",
+//   {"id":"j1","type":"convert","benchmark":"s5378","backend":"3p",
 //    "preset":"fast","workload":"paper","cycles":48,"seed":7,"lanes":4}
 //   {"id":"j2","type":"power_eval", ...same fields...}
 //   {"id":"j3","type":"lint", ...same fields...}
 //   {"id":"j4","type":"matrix_sweep","benchmarks":["s5378","s9234"],
-//    "styles":["ff","3p"],"preset":"paper", ...}
+//    "backends":["ff","3p"],"preset":"paper", ...}
 //   {"id":"j5","type":"status"}
 //   {"id":"j6","type":"shutdown"}
+//
+// "backend" names a registered conversion backend by its token (the
+// backend registry of src/flow/backend.hpp is the source of truth; status
+// lists the valid tokens). "style"/"styles" remain accepted as legacy
+// aliases; "backend"/"backends" win when both are present. An unknown
+// token is rejected with an ok:false response whose error message lists
+// every valid token.
 //
 // Responses echo the id:
 //   {"id":"j1","ok":true,"cached":false,"payload":{...}}        convert

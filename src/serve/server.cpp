@@ -344,6 +344,13 @@ std::string Server::status_json() const {
   w.begin_object();
   w.key("uptime_s").value(uptime_.seconds());
   w.key("threads").value(executor_.thread_count());
+  // Valid "backend" tokens, so clients can discover the conversion grid
+  // without hardcoding the registry.
+  w.key("backends").begin_array();
+  for (const flow::ConversionBackend* backend : flow::backend_registry()) {
+    w.value(backend->token());
+  }
+  w.end_array();
   w.key("requests").value(c.requests);
   w.key("completed").value(c.completed);
   w.key("failed").value(c.failed);

@@ -185,6 +185,18 @@ void Simulator::propagate_clock_network(
         }
         out = icg_state_[id.value()] && value(cell.ins[1]);
         break;
+      case CellKind::kClkDiv2: {
+        // Toggle state on the rising input edge. Re-evaluation without an
+        // input change (the worklist can revisit a cell within one event)
+        // is a no-op because last_clock_ already matches.
+        const bool ck = value(cell.ins[0]);
+        if (ck && !last_clock_[id.value()]) {
+          icg_state_[id.value()] = !icg_state_[id.value()];
+        }
+        last_clock_[id.value()] = ck;
+        out = icg_state_[id.value()] != 0;
+        break;
+      }
       default:
         continue;  // non-clock cells never enter this worklist
     }
@@ -231,6 +243,11 @@ void Simulator::update_registers(
           break;
         case CellKind::kLatchL:
           if (!level) writes_.push_back({ref.cell, value(cell.ins[0])});
+          break;
+        case CellKind::kDffDet:  // dual-edge: sample on any clock toggle
+          if (level != (last_clock_[ref.cell.value()] != 0)) {
+            writes_.push_back({ref.cell, value(cell.ins[0])});
+          }
           break;
         default:
           break;

@@ -197,6 +197,17 @@ void WideSimulator::propagate_clock_network(
         out = state & values_[cell.ins[1].value()];
         break;
       }
+      case CellKind::kClkDiv2: {
+        // Lanes whose input just rose toggle the divider state; repeat
+        // evaluation without an input change flips nothing (rising == 0).
+        const std::uint64_t ck = values_[cell.ins[0].value()];
+        const std::uint64_t rising = ck & ~last_clock_[id.value()];
+        last_clock_[id.value()] = ck;
+        std::uint64_t& state = icg_state_[id.value()];
+        state ^= rising;
+        out = state & lane_mask_;
+        break;
+      }
       default:
         continue;  // non-clock cells never enter this worklist
     }
@@ -251,6 +262,10 @@ void WideSimulator::update_registers(
         }
         case CellKind::kLatchL:
           mask = changed & ~level;  // lanes whose gate just fell (opened)
+          data = values_[cell.ins[0].value()];
+          break;
+        case CellKind::kDffDet:  // dual-edge: any toggling lane samples
+          mask = changed;
           data = values_[cell.ins[0].value()];
           break;
         default:

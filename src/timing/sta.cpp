@@ -33,6 +33,10 @@ Window register_window(const Netlist& netlist, const Cell& cell) {
   switch (cell.kind) {
     case CellKind::kDff:
     case CellKind::kDffEn:
+    case CellKind::kDffDet:
+      // A DET FF samples on both edges, but behind a kClkDiv2 the clock
+      // toggles once per cycle at the phase rise, so the zero-width window
+      // at the rise models the single per-cycle sampling instant.
       return {static_cast<double>(w->rise_ps),
               static_cast<double>(w->rise_ps)};
     case CellKind::kLatchH:

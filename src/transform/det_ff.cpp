@@ -1,0 +1,41 @@
+#include "src/transform/det_ff.hpp"
+
+#include <map>
+
+#include "src/util/strcat.hpp"
+
+namespace tp {
+
+DetFfResult to_det_ff(const Netlist& ff_netlist) {
+  DetFfResult result{.netlist = ff_netlist};
+  Netlist& nl = result.netlist;
+  nl.set_name(ff_netlist.name() + "_det");
+  require(nl.clocks().phases.size() == 1,
+          "to_det_ff: expected a single-clock design");
+
+  // Group registers by their (possibly gated) clock net; each group shares
+  // one divider at the leaf of the clock network.
+  std::map<std::uint32_t, std::vector<CellId>> by_clock;
+  for (const CellId id : nl.registers()) {
+    const Cell& cell = nl.cell(id);
+    require(cell.kind == CellKind::kDff,
+            "to_det_ff: expected a pure DFF netlist (run "
+            "infer_clock_gating first)");
+    by_clock[cell.ins[1].value()].push_back(id);
+  }
+  for (const auto& [clock_net, registers] : by_clock) {
+    const std::string base = nl.net(NetId{clock_net}).name;
+    const NetId divided = nl.add_net(cat(base, "_div2"));
+    nl.add_cell(CellKind::kClkDiv2, cat(base, "_div2"), {NetId{clock_net}},
+                divided, Phase::kClk);
+    ++result.dividers;
+    for (const CellId id : registers) {
+      nl.morph_cell(id, CellKind::kDffDet, {nl.cell(id).ins[0], divided});
+      nl.set_phase(id, Phase::kClk);
+    }
+  }
+  nl.validate();
+  return result;
+}
+
+}  // namespace tp

@@ -1,0 +1,33 @@
+// Dual-edge-triggered flip-flop retarget (arXiv 1307.3075).
+//
+// Registers keep edge-triggered semantics, but the clock distributed to
+// them runs at half frequency: a divide-by-two cell is inserted on every
+// distinct (possibly gated) clock net feeding register clock pins, and the
+// flip-flops are swapped for dual-edge-triggered cells that sample on both
+// edges of the divided clock. One toggle per cycle reaches each register
+// clock pin instead of two, roughly halving clock-network switching power,
+// at the cost of a larger sequencing cell.
+//
+// Dividers sit at the leaves of the clock network — after all ICGs — so
+// clock gating is untouched: a gated-off net produces no rising edge, the
+// divider holds, and the DET FF sees no toggle. The divided clock carries
+// the same phase tag as its source, and a DET FF still samples exactly
+// once per cycle (at the source's rise), so converted designs stay
+// stream-identical to the flip-flop baseline.
+#pragma once
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct DetFfResult {
+  Netlist netlist;
+  /// Divide-by-two cells inserted (one per distinct register clock net).
+  int dividers = 0;
+};
+
+/// Converts a copy of `ff_netlist` (pure DFFs; run clock-gating inference
+/// first) to a dual-edge-triggered design on a divided clock.
+DetFfResult to_det_ff(const Netlist& ff_netlist);
+
+}  // namespace tp

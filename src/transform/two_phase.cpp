@@ -1,0 +1,86 @@
+#include "src/transform/two_phase.hpp"
+
+#include <map>
+
+#include "src/util/strcat.hpp"
+
+namespace tp {
+
+TwoPhaseResult to_two_phase(const Netlist& ff_netlist,
+                            const TwoPhaseOptions& options) {
+  TwoPhaseResult result{.netlist = ff_netlist};
+  Netlist& nl = result.netlist;
+  nl.set_name(ff_netlist.name() + "_2p");
+  require(nl.clocks().phases.size() == 1,
+          "to_two_phase: expected a single-clock design");
+  const std::int64_t period = nl.clocks().period_ps;
+  require(options.nonoverlap_ps >= 0 &&
+              options.nonoverlap_ps < period / 2,
+          "to_two_phase: non-overlap gap must fit inside a half period");
+
+  // The original root keeps clocking the slaves (phase clk); a new root
+  // clocks the masters (phase clkbar). Each phase is high for half the
+  // period minus the guard gap, so neither latch is ever open while the
+  // other's clock is high. The gap is carved out of each phase's LEADING
+  // edge (clk high [g, T/2), clkbar high [T/2+g, T)): clkbar then stays
+  // high through the cycle boundary, so the masters are open at the
+  // simulator's reset park (t = T-1) and capture the settled reset state —
+  // the same boundary behavior as the master-slave baseline's low-phase
+  // masters. Shrinking the fall edges instead would leave the masters
+  // closed at the park and start cycle 1 from latch init values.
+  const NetId clk_root = nl.clocks().phases.front().root;
+  const CellId clkbar = nl.add_input("clkbar");
+  nl.set_clock_root(clkbar, Phase::kClkBar);
+  const NetId clkbar_root = nl.cell(clkbar).out;
+  nl.clocks() = two_phase_spec(period, clk_root, clkbar_root);
+  for (PhaseWaveform& w : nl.clocks().phases) {
+    w.rise_ps += options.nonoverlap_ps;
+  }
+
+  // clkbar-side clock source for an original (possibly gated) clock net:
+  // the root maps to the new root, ICG chains are duplicated onto it. The
+  // slave side reuses the original chain untouched.
+  std::map<std::uint32_t, NetId> duplicated;
+  auto clkbar_for = [&](auto&& self, NetId original) -> NetId {
+    if (original == clk_root) return clkbar_root;
+    const CellId driver_id = nl.net(original).driver;
+    require(driver_id.valid(), "to_two_phase: undriven clock net");
+    const Cell& driver = nl.cell(driver_id);
+    if (driver.kind == CellKind::kClkBuf) {
+      return self(self, driver.ins[0]);
+    }
+    require(is_icg(driver.kind), "to_two_phase: unexpected clock driver");
+    if (const auto it = duplicated.find(driver_id.value());
+        it != duplicated.end()) {
+      return it->second;
+    }
+    const NetId parent = self(self, driver.ins[1]);
+    const NetId out = nl.add_net(cat(driver.name, "_bar"));
+    nl.add_cell(CellKind::kIcg, cat(driver.name, "_bar"),
+                {driver.ins[0], parent}, out, Phase::kClkBar);
+    duplicated.emplace(driver_id.value(), out);
+    ++result.duplicated_icgs;
+    return out;
+  };
+
+  for (const CellId id : nl.registers()) {
+    const Cell& cell = nl.cell(id);
+    require(cell.kind == CellKind::kDff,
+            "to_two_phase: expected a pure DFF netlist (run "
+            "infer_clock_gating first)");
+    const NetId d = cell.ins[0];
+    const NetId ck = cell.ins[1];
+    const NetId ckb = clkbar_for(clkbar_for, ck);
+    // Master: open during clkbar's high window, capturing the next state at
+    // clkbar's fall; the original FF becomes the slave, presenting it when
+    // clk rises at cycle start.
+    const CellId master = nl.add_gate(CellKind::kLatchH, cell.name + "_m",
+                                      {d, ckb}, Phase::kClkBar);
+    nl.morph_cell(id, CellKind::kLatchH, {nl.cell(master).out, ck});
+    nl.set_phase(id, Phase::kClk);
+  }
+  nl.validate();
+  return result;
+}
+
+}  // namespace tp

@@ -1,0 +1,37 @@
+// Two-phase non-overlapping latch conversion (the classic textbook
+// discipline; see also arXiv 2605.05374).
+//
+// Every flip-flop becomes a master transparent-high latch on clkbar plus a
+// slave transparent-high latch on clk, with a guard gap between the fall of
+// each phase and the rise of the other. Unlike the retiming-oriented
+// master-slave baseline (both latches on one net, the master open-low),
+// the two phases are distributed as separate clock trees, so skew between
+// them cannot create a transparency race: no instant exists where both
+// latches are open.
+//
+// Gated clocks keep their gating: each ICG chain is duplicated per phase,
+// exactly like the 3-phase conversion does.
+#pragma once
+
+#include "src/netlist/netlist.hpp"
+
+namespace tp {
+
+struct TwoPhaseOptions {
+  /// Guard gap (ps) between one phase's fall and the other's rise. Both
+  /// gaps are equal; each phase is high for T/2 - gap.
+  std::int64_t nonoverlap_ps = 40;
+};
+
+struct TwoPhaseResult {
+  Netlist netlist;
+  /// Extra ICG copies created for the clkbar (master) clock tree.
+  int duplicated_icgs = 0;
+};
+
+/// Converts a copy of `ff_netlist` (pure DFFs; run clock-gating inference
+/// first) to a two-phase non-overlapping latch design.
+TwoPhaseResult to_two_phase(const Netlist& ff_netlist,
+                            const TwoPhaseOptions& options = {});
+
+}  // namespace tp
