@@ -4,6 +4,10 @@
 // After the grid, each backend's canonical seeded violation is planted
 // into a converted netlist and the checker must flag the exact rule the
 // backend promised — proving the per-backend rule sets are non-vacuous.
+// The same probe runs for the domain-level analyses: every backend plants
+// an unsynchronized clock-domain crossing (A4 cdc-unsync) and a
+// reset-domain crossing (A6 rdc-crossing) and run_analysis() must flag
+// both.
 //
 // Writes BENCH_backends.json (one row per registered backend with mean
 // power/area and summed runtime over the grid) for the CI perf trail.
@@ -19,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analysis.hpp"
 #include "src/flow/backend.hpp"
 #include "src/flow/matrix.hpp"
 #include "src/transform/clock_gating.hpp"
@@ -44,7 +49,47 @@ struct BackendRow {
   bool seeded_detected = false;
   std::string seeded_rule;
   std::string seeded_error;
+  bool cdc_detected = false;   // seed_cdc_violation() -> A4 flagged
+  bool rdc_detected = false;   // seed_rdc_violation() -> A6 flagged
+  std::string cdc_error;
+  std::string rdc_error;
 };
+
+/// Converts `bench` with `backend` (shared with probe_seeded_violation)
+/// and returns the converted netlist, ready for a domain-rule plant.
+Netlist converted_copy(const ConversionBackend& backend,
+                       const circuits::Benchmark& bench) {
+  Netlist netlist = bench.netlist;
+  infer_clock_gating(netlist);
+  const FlowOptions options = FlowOptions::fast();
+  const CellLibrary& library = CellLibrary::nominal_28nm();
+  FlowResult scratch;
+  FlowContext ctx{
+      .netlist = netlist,
+      .options = options,
+      .library = library,
+      .result = scratch,
+      .checkpoint = [](std::string_view) {},
+      .activity = [] { return ActivityStats{}; },
+  };
+  backend.convert(ctx);
+  return netlist;
+}
+
+/// Plants a domain-rule violation via `seed` (seed_cdc_violation or
+/// seed_rdc_violation) and returns true when run_analysis() reports the
+/// promised rule — and was quiet on it before the plant.
+bool probe_domain_violation(const ConversionBackend& backend,
+                            const circuits::Benchmark& bench,
+                            check::RuleId (ConversionBackend::*seed)(
+                                Netlist&) const) {
+  Netlist netlist = converted_copy(backend, bench);
+  const check::CheckReport before = analysis::run_analysis(netlist);
+  const check::RuleId rule = (backend.*seed)(netlist);
+  if (before.count(rule) != 0) return false;  // vacuous plant
+  const check::CheckReport after = analysis::run_analysis(netlist);
+  return after.count(rule) > 0;
+}
 
 /// Converts `bench` with `backend` (fast options, no checks) and plants
 /// the backend's canonical violation; returns true when run_checks()
@@ -194,6 +239,35 @@ int main(int argc, char** argv) {
                 row.seeded_error.c_str());
   }
 
+  // Domain-rule probes: every backend must detect a planted A4
+  // (cdc-unsync) and A6 (rdc-crossing) in its own converted netlist.
+  std::printf("\ndomain-rule probes (%s):\n",
+              plan.benchmarks.front().c_str());
+  for (auto& [style, row] : rows) {
+    try {
+      row.cdc_detected = probe_domain_violation(
+          *row.backend, seed_bench, &ConversionBackend::seed_cdc_violation);
+    } catch (const Error& e) {
+      row.cdc_detected = false;
+      row.cdc_error = e.what();
+    }
+    try {
+      row.rdc_detected = probe_domain_violation(
+          *row.backend, seed_bench, &ConversionBackend::seed_rdc_violation);
+    } catch (const Error& e) {
+      row.rdc_detected = false;
+      row.rdc_error = e.what();
+    }
+    if (!row.cdc_detected) ++failures;
+    if (!row.rdc_detected) ++failures;
+    std::printf("  %-4s cdc-unsync %s%s%s, rdc-crossing %s%s%s\n",
+                std::string(row.backend->display_name()).c_str(),
+                row.cdc_detected ? "detected" : "MISSED",
+                row.cdc_error.empty() ? "" : " — ", row.cdc_error.c_str(),
+                row.rdc_detected ? "detected" : "MISSED",
+                row.rdc_error.empty() ? "" : " — ", row.rdc_error.c_str());
+  }
+
   util::JsonWriter w;
   w.begin_object();
   w.key("bench").value("backends_compare");
@@ -221,6 +295,8 @@ int main(int argc, char** argv) {
     w.key("stream_equal").value(row.stream_equal);
     w.key("seeded_rule").value(row.seeded_rule);
     w.key("seeded_detected").value(row.seeded_detected);
+    w.key("seeded_cdc_detected").value(row.cdc_detected);
+    w.key("seeded_rdc_detected").value(row.rdc_detected);
     w.end_object();
   }
   w.end_array();

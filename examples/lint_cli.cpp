@@ -10,21 +10,27 @@
 //   $ ./examples/lint_cli --circuit s5378 --backend 3p --analysis
 //   $ ./examples/lint_cli --in mydesign.v --analysis --x-source rst
 //   $ ./examples/lint_cli --circuit MD5 --backend 3p --baseline waivers.txt
+//   $ ./examples/lint_cli --circuit s5378 --backend det --domains
 //   $ ./examples/lint_cli --list-rules
 //
 // --style is a deprecated alias of --backend (see docs/backends.md).
 //
-// Exit status: 0 clean, 1 unwaived violations, 2 usage error.
+// Exit status: 0 clean, 1 unwaived violations, 2 usage error. Usage
+// errors on rule tokens are structured: with --json they also emit a
+// serve-style {"ok":false,"error":...} object on stdout.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "src/analysis/analysis.hpp"
+#include "src/analysis/domains.hpp"
 #include "src/circuits/workload.hpp"
 #include "src/flow/serialize.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/util/argparse.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strcat.hpp"
 
 using namespace tp;
 using namespace tp::flow;
@@ -40,6 +46,35 @@ void list_rules() {
   }
 }
 
+/// Usage error for an unknown/misspelled rule token: always a stderr
+/// line naming every valid spelling; with --json additionally a
+/// serve-shaped {"ok":false,"error":...,"valid_rules":[...]} object on
+/// stdout so scripted callers get the same structured error a serve
+/// request would.
+int unknown_rule_error(const std::string& token, bool json) {
+  std::string valid;
+  for (const check::RuleSpec& spec : check::rule_registry()) {
+    if (!valid.empty()) valid += ", ";
+    valid += spec.name;
+  }
+  if (json) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("ok").value(false);
+    w.key("error").value(cat("unknown rule '", token, "'"));
+    w.key("valid_rules").begin_array();
+    for (const check::RuleSpec& spec : check::rule_registry()) {
+      w.value(spec.name);
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+  }
+  std::fprintf(stderr, "unknown rule '%s' (valid: %s)\n", token.c_str(),
+               valid.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,7 +82,7 @@ int main(int argc, char** argv) {
   std::string backend_text, style_text;
   std::vector<std::string> disabled;
   bool json = false, quiet = false, stages = false, rules = false;
-  bool analysis = false;
+  bool analysis = false, domains = false;
   std::size_t cycles = 192;
   check::CheckOptions check_options;
   analysis::AnalysisOptions analysis_options;
@@ -71,7 +106,12 @@ int main(int argc, char** argv) {
                   "offending stage (non-raw styles only)");
   parser.add_flag("--analysis", &analysis,
                   "also run the dataflow analyses (A1 X-propagation, A2 "
-                  "min-delay races, A3 borrowing chains)");
+                  "min-delay races, A3 borrowing chains, A4/A5 CDC, A6 "
+                  "RDC)");
+  parser.add_flag("--domains", &domains,
+                  "print the inferred clock/reset-domain table of the "
+                  "linted netlist (with --json: its own JSON object on the "
+                  "line before the report)");
   parser.add_list("--x-source", &analysis_options.x_sources,
                   "treat this input or register as post-reset X for A1 "
                   "(repeatable)", "NAME");
@@ -102,9 +142,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : disabled) {
     check::RuleId rule;
     if (!check::rule_from_name(name, &rule)) {
-      std::fprintf(stderr, "unknown rule '%s' (see --list-rules)\n",
-                   name.c_str());
-      return 2;
+      return unknown_rule_error(name, json);
     }
     check_options.disabled.push_back(rule);
   }
@@ -132,6 +170,9 @@ int main(int argc, char** argv) {
     analysis_options.check = check_options;
     check::CheckReport report;
     RuleChecks stage_reports;
+    FlowResult result;
+    // The netlist the report (and --domains table) describes.
+    const Netlist* linted = &bench.netlist;
     // --backend wins over the deprecated --style alias; default raw.
     const std::string token = !backend_text.empty() ? backend_text
                               : !style_text.empty() ? style_text
@@ -156,7 +197,8 @@ int main(int argc, char** argv) {
       options.borrow_budget_ps = analysis_options.borrow_budget_ps;
       const Stimulus stim = circuits::make_stimulus(
           bench, circuits::Workload::kPaperDefault, cycles, 7);
-      FlowResult result = run_flow(bench, style, stim, options);
+      result = run_flow(bench, style, stim, options);
+      linted = &result.netlist;
       stage_reports = std::move(result.lint);
       // The final netlist still gets its own report (the flow raises the
       // lint DDCG cap to its own configuration; standalone linting keeps
@@ -180,6 +222,15 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (domains) {
+      const analysis::DomainTable table = analysis::infer_domains(*linted);
+      if (json) {
+        std::printf("%s\n",
+                    analysis::domain_table_json(*linted, table).c_str());
+      } else {
+        std::printf("%s", analysis::domain_table_text(*linted, table).c_str());
+      }
+    }
     if (json) {
       std::printf("%s\n", report.to_json().c_str());
     } else {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/domains.hpp"
 #include "src/util/strcat.hpp"
 
 namespace tp::analysis {
@@ -44,6 +45,23 @@ check::CheckReport run_analysis(const Netlist& netlist,
     rule_min_delay_race(ctx, options);
   }
   if (enabled(check::RuleId::kBorrowChain)) rule_borrow_chain(ctx, options);
+  // The domain rules share one inference pass; dispatch order must match
+  // AnalysisSession::run_wave so incremental reports are byte-identical.
+  const bool any_domain_rule = enabled(check::RuleId::kCdcUnsync) ||
+                               enabled(check::RuleId::kCdcReconverge) ||
+                               enabled(check::RuleId::kRdcCrossing);
+  if (any_domain_rule) {
+    const DomainTable table = infer_domains(netlist);
+    if (enabled(check::RuleId::kCdcUnsync)) {
+      rule_cdc_unsync(ctx, options, table);
+    }
+    if (enabled(check::RuleId::kCdcReconverge)) {
+      rule_cdc_reconverge(ctx, options, table);
+    }
+    if (enabled(check::RuleId::kRdcCrossing)) {
+      rule_rdc_crossing(ctx, options, table);
+    }
+  }
   return check::finalize_report(netlist, ctx.take(), options.check);
 }
 

@@ -1,0 +1,181 @@
+// Clock/reset-domain inference and the domain-level lint rules (A4-A6).
+//
+// infer_domains() walks every sequential cell's clock pin backward through
+// the clock network — buffers, inverters, ICG/DDCG gates, and kClkDiv2
+// dividers — to a declared phase root, and its associated reset net (see
+// Netlist::set_reset) backward through buffers/inverters to a declared
+// ResetRoot. The result is one DomainLabel per register:
+//
+//   (clock_root, divide_ratio, phase_token, reset_root, reset_sense)
+//
+// All phases of one ClockSpec belong to a single clock family (p1/p2/p3
+// are tokens of the same domain, not domains themselves); what separates
+// clock domains is the *effective sampling period*: divide_ratio halves
+// the rate per divider on the path, and a dual-edge FF doubles it back.
+// Three rules consume the labels:
+//
+//   A4  cdc-unsync     — a register-graph data edge between different
+//                        clock domains with no two-register synchronizer
+//                        chain in the destination domain.
+//   A5  cdc-reconverge — two synchronized crossings from one source
+//                        register reconverge within a bounded
+//                        combinational cone (the synchronizers can settle
+//                        on different cycles).
+//   A6  rdc-crossing   — a data edge from a register reset by one async
+//                        root into a register reset by a different root
+//                        that is released no later than the source's.
+//
+// AnalysisSession adds dirty-cone invalidation on top: transform stages
+// drain the netlist mutation journal (Netlist::take_touched) into
+// reanalyze(), which re-derives domain labels only inside the dirty
+// fanout cone and skips the whole A1-A6 wave when nothing changed —
+// byte-identical to a full run_analysis() by construction (and gated by
+// tests). docs/analysis.md has the full contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/analysis.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace tp::analysis {
+
+/// The inferred clock/reset provenance of one sequential cell.
+struct DomainLabel {
+  /// Clock side. `clocked` is false when the clock pin does not trace to
+  /// a phase root (constant/data/floating clocks are owned by the
+  /// structural rules, not by A4).
+  bool clocked = false;
+  NetId clock_root;            // phase root net
+  Phase phase = Phase::kNone;  // phase token at the root
+  bool inverted = false;       // odd number of kClkInv on the path
+  int divide_ratio = 1;        // 2^(number of kClkDiv2 on the path)
+  /// Effective sampling period in half-cycles of the root:
+  /// divide_ratio * (dual-edge sampler ? 1 : 2). Two clocked registers
+  /// are in the same clock domain iff this matches.
+  int sample_period_x2 = 2;
+
+  /// Reset side (invalid clock_root-style sentinel when the register has
+  /// no declared reset association).
+  NetId reset_root;
+  bool reset_active_low = true;
+  int reset_release = 0;
+
+  [[nodiscard]] bool same_clock_domain(const DomainLabel& other) const {
+    return clocked && other.clocked &&
+           sample_period_x2 == other.sample_period_x2;
+  }
+  [[nodiscard]] bool has_reset() const { return reset_root.valid(); }
+};
+
+/// Domain labels for every live register, in cell-id order, plus the
+/// support nets each label was derived from (the nets on the traced clock
+/// and reset paths) — the invalidation key for AnalysisSession.
+struct DomainTable {
+  std::vector<CellId> regs;
+  std::vector<DomainLabel> labels;             // parallel to regs
+  std::vector<std::vector<NetId>> support;     // parallel to regs
+  std::unordered_map<std::uint32_t, int> index;  // cell id -> row
+
+  [[nodiscard]] const DomainLabel* label_of(CellId reg) const {
+    const auto it = index.find(reg.value());
+    return it == index.end() ? nullptr : &labels[it->second];
+  }
+};
+
+/// Derives the label of every live register. Deterministic: rows are in
+/// register id order and every walk is a fixed-order backward traversal.
+DomainTable infer_domains(const Netlist& netlist);
+
+/// Human-readable and JSON renderings of the domain table (lint_cli
+/// --domains, the serve lint payload).
+std::string domain_table_text(const Netlist& netlist,
+                              const DomainTable& table);
+std::string domain_table_json(const Netlist& netlist,
+                              const DomainTable& table);
+
+/// Compact {"registers":N,"clock_domains":N,"reset_domains":N} object —
+/// the domain summary embedded in serve convert/lint payloads, where the
+/// full per-register table would dominate the payload bytes.
+std::string domain_summary_json(const DomainTable& table);
+
+/// A4/A5/A6 entry points, mirroring rule_xprop & co. The overloads taking
+/// a DomainTable let run_analysis() and AnalysisSession share one
+/// inference pass; the two-argument forms infer a fresh table.
+void rule_cdc_unsync(check::RuleContext& ctx, const AnalysisOptions& options);
+void rule_cdc_unsync(check::RuleContext& ctx, const AnalysisOptions& options,
+                     const DomainTable& table);
+void rule_cdc_reconverge(check::RuleContext& ctx,
+                         const AnalysisOptions& options);
+void rule_cdc_reconverge(check::RuleContext& ctx,
+                         const AnalysisOptions& options,
+                         const DomainTable& table);
+void rule_rdc_crossing(check::RuleContext& ctx,
+                       const AnalysisOptions& options);
+void rule_rdc_crossing(check::RuleContext& ctx,
+                       const AnalysisOptions& options,
+                       const DomainTable& table);
+
+/// Incremental analysis driver. One session follows one netlist through a
+/// sequence of transform stages:
+///
+///   netlist.enable_journal();
+///   AnalysisSession session(options);
+///   report0 = session.analyze(netlist);              // full, primes cache
+///   ... stage mutates netlist ...
+///   report1 = session.reanalyze(netlist, netlist.take_touched());
+///
+/// reanalyze() is byte-identical to run_analysis(netlist, options): when
+/// the journal is empty and the clock/reset plan is unchanged the cached
+/// report is returned outright; otherwise domain labels are re-derived
+/// only for registers whose support intersects the dirty fanout cone of
+/// the touched ids, and the A1-A6 wave reruns on top of the patched
+/// table. A dirty cone covering most of the design falls back to a full
+/// analyze() — incremental never costs more than full plus the cone walk.
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(AnalysisOptions options = {});
+
+  /// Full analysis; replaces the cache.
+  check::CheckReport analyze(const Netlist& netlist);
+
+  /// Incremental re-analysis after a mutation wave. `touched` is the
+  /// drained journal (Netlist::take_touched) covering every mutation
+  /// since the previous analyze()/reanalyze() call.
+  check::CheckReport reanalyze(const Netlist& netlist,
+                               const TouchedSet& touched);
+
+  /// Cache behavior counters for tests and the bench harness.
+  struct Stats {
+    int full_runs = 0;         // analyze() or fallback-to-full
+    int incremental_runs = 0;  // label-patching reanalyze() passes
+    int skipped_runs = 0;      // no-edit passes served from cache
+    long labels_reused = 0;
+    long labels_recomputed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// The current (cached) domain table; valid after the first analyze().
+  [[nodiscard]] const DomainTable& domains() const { return table_; }
+
+  [[nodiscard]] const AnalysisOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] bool plan_changed(const Netlist& netlist) const;
+  check::CheckReport run_wave(const Netlist& netlist);
+
+  AnalysisOptions options_;
+  bool primed_ = false;
+  DomainTable table_;
+  check::CheckReport cached_report_;
+  ClockSpec cached_clocks_;
+  std::vector<ResetRoot> cached_resets_;
+  std::size_t cached_reset_assignments_ = 0;
+  std::string cached_name_;
+  Stats stats_;
+};
+
+}  // namespace tp::analysis

@@ -266,6 +266,9 @@ RuleFn rule_fn(RuleId rule) {
     case RuleId::kXProp:
     case RuleId::kMinDelayRace:
     case RuleId::kBorrowChain:
+    case RuleId::kCdcUnsync:
+    case RuleId::kCdcReconverge:
+    case RuleId::kRdcCrossing:
       return nullptr;
   }
   return nullptr;
@@ -312,6 +315,28 @@ CheckReport finalize_report(const Netlist& netlist,
   CheckReport report;
   report.design = netlist.name();
   report.diags = std::move(diags);
+  // Canonical report order: (rule, first offending cell, first offending
+  // net, message). Rules already emit in this order internally, but reports
+  // merged from parallel checkpoint waves (flow::run_flow with an executor)
+  // or spliced from an incremental AnalysisSession must land byte-identical
+  // to a serial full run, so the ordering is enforced here rather than
+  // trusted. stable_sort keeps duplicate-key emission order.
+  const auto first_or_empty = [](const std::vector<std::string>& names)
+      -> const std::string& {
+    static const std::string kEmpty;
+    return names.empty() ? kEmpty : names.front();
+  };
+  std::stable_sort(report.diags.begin(), report.diags.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     const std::string& ac = first_or_empty(a.cells);
+                     const std::string& bc = first_or_empty(b.cells);
+                     if (ac != bc) return ac < bc;
+                     const std::string& an = first_or_empty(a.nets);
+                     const std::string& bn = first_or_empty(b.nets);
+                     if (an != bn) return an < bn;
+                     return a.message < b.message;
+                   });
   for (Diagnostic& diag : report.diags) {
     diag.waived = options.waivers.matches(diag);
     if (diag.waived) {

@@ -88,6 +88,21 @@ const RuleInfo& info(RuleId rule) {
        "a chain of transparent latches accumulates more time borrowing "
        "than the configured budget (default: one full phase)",
        Severity::kError},
+      {"cdc-unsync", "A4 (clock-domain inference)",
+       "a data path crosses between registers whose inferred clock domains "
+       "sample at different effective rates, with no two-register "
+       "synchronizer chain in the destination domain",
+       Severity::kError},
+      {"cdc-reconverge", "A5 (clock-domain inference)",
+       "two independently synchronized crossings from the same source "
+       "register reconverge inside a bounded combinational cone — the "
+       "synchronizers can resolve on different cycles",
+       Severity::kError},
+      {"rdc-crossing", "A6 (reset-domain inference)",
+       "a register in one async-reset domain feeds a register whose reset "
+       "root differs and is released no later — the destination can sample "
+       "mid-reset garbage",
+       Severity::kError},
   };
   return kTable[static_cast<int>(rule)];
 }

@@ -45,9 +45,15 @@ enum class RuleId : int {
   kXProp,              // A1: X escapes the post-reset state to a reg/output
   kMinDelayRace,       // A2: min path delay inside an overlapped window
   kBorrowChain,        // A3: cumulative time borrowing past the budget
+  // Domain-level analyses (src/analysis/domains.cpp). They consume the
+  // clock/reset-domain labels inferred by analysis::infer_domains() and so
+  // also live on the run_analysis() side of the registry.
+  kCdcUnsync,          // A4: unsynchronized clock-domain data crossing
+  kCdcReconverge,      // A5: two synchronized crossings reconverge
+  kRdcCrossing,        // A6: reset-domain crossing released out of order
 };
 
-inline constexpr int kNumRules = static_cast<int>(RuleId::kBorrowChain) + 1;
+inline constexpr int kNumRules = static_cast<int>(RuleId::kRdcCrossing) + 1;
 
 /// True for the analysis-engine rules (A1/A2/A3) that run_checks() cannot
 /// evaluate; analysis::run_analysis() owns them.

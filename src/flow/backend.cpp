@@ -66,8 +66,9 @@ class FlipFlopBackend final : public ConversionBackend {
   }
   [[nodiscard]] std::vector<RuleId> rule_set() const override {
     return {RuleId::kClockReachability, RuleId::kConstantClock,
-            RuleId::kCombCycle, RuleId::kFloatingNet,
-            RuleId::kMultipleDrivers};
+            RuleId::kCombCycle,           RuleId::kFloatingNet,
+            RuleId::kMultipleDrivers,     RuleId::kCdcUnsync,
+            RuleId::kCdcReconverge,       RuleId::kRdcCrossing};
   }
   [[nodiscard]] std::vector<CellKind> cells() const override {
     return {CellKind::kDff};
@@ -112,7 +113,8 @@ class MasterSlaveBackend final : public ConversionBackend {
   }
   [[nodiscard]] std::vector<RuleId> rule_set() const override {
     return {RuleId::kClockReachability, RuleId::kConstantClock,
-            RuleId::kScheduleSanity};
+            RuleId::kScheduleSanity,      RuleId::kCdcUnsync,
+            RuleId::kCdcReconverge,       RuleId::kRdcCrossing};
   }
   [[nodiscard]] std::vector<CellKind> cells() const override {
     return {CellKind::kLatchL, CellKind::kLatchH};
@@ -199,7 +201,9 @@ class ThreePhaseBackend final : public ConversionBackend {
     return {RuleId::kTransparencyRace, RuleId::kPhaseOrder,
             RuleId::kLatchSelfLoop,    RuleId::kScheduleSanity,
             RuleId::kMixedPhaseIcg,    RuleId::kDdcgFanout,
-            RuleId::kM1BorrowWindow,   RuleId::kM2EnablePhase};
+            RuleId::kM1BorrowWindow,   RuleId::kM2EnablePhase,
+            RuleId::kCdcUnsync,        RuleId::kCdcReconverge,
+            RuleId::kRdcCrossing};
   }
   [[nodiscard]] std::vector<CellKind> cells() const override {
     return {CellKind::kLatchH, CellKind::kIcg, CellKind::kIcgM1,
@@ -268,8 +272,9 @@ class PulsedLatchBackend final : public ConversionBackend {
     ctx.checkpoint("convert");
   }
   [[nodiscard]] std::vector<RuleId> rule_set() const override {
-    return {RuleId::kPulseWidth, RuleId::kClockReachability,
-            RuleId::kScheduleSanity};
+    return {RuleId::kPulseWidth,     RuleId::kClockReachability,
+            RuleId::kScheduleSanity, RuleId::kCdcUnsync,
+            RuleId::kCdcReconverge,  RuleId::kRdcCrossing};
   }
   [[nodiscard]] std::vector<CellKind> cells() const override {
     return {CellKind::kLatchP};
@@ -312,7 +317,8 @@ class TwoPhaseBackend final : public ConversionBackend {
   }
   [[nodiscard]] std::vector<RuleId> rule_set() const override {
     return {RuleId::kTwoPhaseNonOverlap, RuleId::kClockReachability,
-            RuleId::kScheduleSanity};
+            RuleId::kScheduleSanity,     RuleId::kCdcUnsync,
+            RuleId::kCdcReconverge,      RuleId::kRdcCrossing};
   }
   [[nodiscard]] std::vector<CellKind> cells() const override {
     return {CellKind::kLatchH};
@@ -359,8 +365,9 @@ class DetFfBackend final : public ConversionBackend {
     ctx.checkpoint("convert");
   }
   [[nodiscard]] std::vector<RuleId> rule_set() const override {
-    return {RuleId::kDetClocking, RuleId::kClockReachability,
-            RuleId::kScheduleSanity};
+    return {RuleId::kDetClocking,    RuleId::kClockReachability,
+            RuleId::kScheduleSanity, RuleId::kCdcUnsync,
+            RuleId::kCdcReconverge,  RuleId::kRdcCrossing};
   }
   [[nodiscard]] std::vector<CellKind> cells() const override {
     return {CellKind::kDffDet, CellKind::kClkDiv2};
@@ -384,6 +391,58 @@ class DetFfBackend final : public ConversionBackend {
 }  // namespace
 
 void ConversionBackend::adjust_library(CellLibrary&) const {}
+
+check::RuleId ConversionBackend::seed_cdc_violation(Netlist& netlist) const {
+  // Generic plant, valid for every sequencing discipline: clock a fresh
+  // source register off a /2 divider hung on an existing register's clock
+  // pin, then merge its output combinationally into that register's data
+  // pin. The source samples at half the victim's effective rate and the
+  // merge gate is not a two-register synchronizer, so A4 must fire.
+  const std::vector<CellId> regs = netlist.registers();
+  if (regs.empty()) {
+    throw Error(cat("seed_cdc_violation: no registers in '", netlist.name(),
+                    "'"));
+  }
+  const CellId victim = regs.front();
+  const Cell& victim_cell = netlist.cell(victim);
+  const NetId victim_clk = victim_cell.ins[clock_pin(victim_cell.kind)];
+  const NetId victim_d = victim_cell.ins[0];
+  const CellId divider =
+      netlist.add_gate(CellKind::kClkDiv2, "cdc_seed_div", {victim_clk});
+  const CellId src = netlist.add_gate(
+      CellKind::kDff, "cdc_seed_src",
+      {victim_d, netlist.cell(divider).out}, victim_cell.phase);
+  const CellId mix = netlist.add_gate(
+      CellKind::kAnd2, "cdc_seed_mix",
+      {victim_d, netlist.cell(src).out});
+  netlist.replace_input(victim, 0, netlist.cell(mix).out);
+  return check::RuleId::kCdcUnsync;
+}
+
+check::RuleId ConversionBackend::seed_rdc_violation(Netlist& netlist) const {
+  // Generic plant: pick an existing register-to-register edge and put its
+  // two endpoints in different reset domains, with the source's root
+  // released no earlier than the destination's — the destination can then
+  // capture pre-reset garbage from the source, which A6 must flag.
+  const RegisterGraph graph = build_register_graph(netlist);
+  for (std::size_t u = 0; u < graph.regs.size(); ++u) {
+    for (const int v : graph.fanout[u]) {
+      if (static_cast<std::size_t>(v) == u) continue;
+      const CellId src_root = netlist.add_input("rdc_seed_rst_late");
+      const CellId dst_root = netlist.add_input("rdc_seed_rst_early");
+      netlist.declare_reset_root(src_root, /*active_low=*/true,
+                                 /*release_order=*/1);
+      netlist.declare_reset_root(dst_root, /*active_low=*/true,
+                                 /*release_order=*/0);
+      netlist.set_reset(graph.regs[u], netlist.cell(src_root).out);
+      netlist.set_reset(graph.regs[static_cast<std::size_t>(v)],
+                        netlist.cell(dst_root).out);
+      return check::RuleId::kRdcCrossing;
+    }
+  }
+  throw Error(cat("seed_rdc_violation: no register-to-register edge in '",
+                  netlist.name(), "'"));
+}
 
 const std::vector<const ConversionBackend*>& backend_registry() {
   static const FlipFlopBackend ff;

@@ -74,6 +74,18 @@ class ConversionBackend {
   /// illegality.
   virtual check::RuleId seed_violation(Netlist& netlist) const = 0;
 
+  /// Plants an unsynchronized clock-domain crossing (a divided-clock
+  /// source register combinationally merged into an existing register's
+  /// data path) and returns check::RuleId::kCdcUnsync. The generic plant
+  /// works on any converted netlist; backends with unusual sequencing
+  /// override it.
+  virtual check::RuleId seed_cdc_violation(Netlist& netlist) const;
+
+  /// Plants a reset-domain crossing (two declared reset roots, the source
+  /// register's root released after the destination's) and returns
+  /// check::RuleId::kRdcCrossing.
+  virtual check::RuleId seed_rdc_violation(Netlist& netlist) const;
+
   /// Extension point for backend-specific library adjustments (derating a
   /// cell, pricing a custom sequencing element). Default: no change.
   virtual void adjust_library(CellLibrary& library) const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <future>
 #include <memory>
+#include <optional>
 
 #include "src/analysis/analysis.hpp"
+#include "src/analysis/domains.hpp"
 #include "src/flow/backend.hpp"
 #include "src/netlist/traverse.hpp"
 #include "src/place/placer.hpp"
@@ -126,6 +128,16 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
     }
     return report;
   };
+  // Inline analysis checkpoints run through an incremental session: the
+  // mutation journal scopes each re-analysis to the stage's dirty cone
+  // (byte-identical to the full pass — see docs/analysis.md). The executor
+  // path snapshots instead, so it keeps the full per-snapshot analysis.
+  std::optional<analysis::AnalysisSession> analysis_session;
+  if (options.check_analysis && options.incremental_analysis &&
+      options.executor == nullptr) {
+    netlist.enable_journal();
+    analysis_session.emplace(analysis_options);
+  }
   // With an executor, each checkpoint snapshots the stage output and runs
   // the (pure, read-only) checks as pool tasks that overlap with the rest
   // of the flow; the futures are joined in stage order before run_flow()
@@ -204,7 +216,15 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
       Stopwatch watch;
       StageLint lint;
       lint.stage = std::string(stage);
-      lint.report = lint_stage(netlist);
+      if (analysis_session.has_value()) {
+        if (options.check_rules) {
+          lint.report = check::run_checks(netlist, lint_options);
+        }
+        lint.report.merge(
+            analysis_session->reanalyze(netlist, netlist.take_touched()));
+      } else {
+        lint.report = lint_stage(netlist);
+      }
       lint.seconds = watch.seconds();
       result.times.lint_s += lint.seconds;
       result.lint.stages.push_back(std::move(lint));

@@ -107,6 +107,15 @@ struct FlowOptions {
   /// re-runs an abstract simulation and two STA passes) but still far
   /// cheaper than check_equivalence.
   bool check_analysis = false;
+  /// Drive the analysis checkpoints through an incremental
+  /// analysis::AnalysisSession instead of a fresh run_analysis() per
+  /// stage: the netlist mutation journal feeds dirty-cone invalidation,
+  /// so unchanged stages are served from cache and domain labels are
+  /// re-derived only where the stage edited. Reports are byte-identical
+  /// to full re-analysis (gated by tests). Applies to the inline path
+  /// only — with `executor` set the checkpoints are pure snapshot tasks
+  /// and always run the full analysis.
+  bool incremental_analysis = true;
   /// A3 cumulative borrow budget in ps; negative means the default of one
   /// full phase segment (period / num_phases).
   double borrow_budget_ps = -1.0;

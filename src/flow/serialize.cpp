@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/analysis/domains.hpp"
 #include "src/util/hash.hpp"
 #include "src/util/json.hpp"
 #include "src/util/strcat.hpp"
@@ -138,6 +139,10 @@ std::string result_payload_json(const RunPlan& plan,
     if (const StageLint* first = f.lint.first_violation()) {
       w.key("lint_first_violation").value(first->stage);
     }
+    // Clock/reset-domain summary of the final netlist (full table via
+    // lint_cli --domains); forwarded by serve::lint_payload().
+    w.key("domains").raw(
+        analysis::domain_summary_json(analysis::infer_domains(f.netlist)));
   }
   w.end_object();
   return w.take();

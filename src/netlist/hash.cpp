@@ -1,5 +1,9 @@
 #include "src/netlist/hash.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/util/hash.hpp"
 
 namespace tp {
@@ -58,6 +62,26 @@ std::uint64_t netlist_hash(const Netlist& netlist) {
     h = hash_combine(h, net_name_hash(netlist, wave.root));
     h = hash_combine(h, static_cast<std::uint64_t>(wave.rise_ps));
     h = hash_combine(h, static_cast<std::uint64_t>(wave.fall_ps));
+  }
+
+  // Reset metadata is folded only when declared so that reset-free designs
+  // (everything the flow produced before A6 existed) keep their historical
+  // hashes — the serve cache keys on this value.
+  if (!netlist.reset_roots().empty()) {
+    for (const ResetRoot& root : netlist.reset_roots()) {
+      h = hash_combine(h, net_name_hash(netlist, root.net));
+      h = hash_combine(h, static_cast<std::uint64_t>(root.active_low));
+      h = hash_combine(h, static_cast<std::uint64_t>(root.release_order));
+    }
+    std::vector<std::pair<std::uint32_t, NetId>> assigned(
+        netlist.reset_assignments().begin(),
+        netlist.reset_assignments().end());
+    std::sort(assigned.begin(), assigned.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [reg, net] : assigned) {
+      h = hash_combine(h, fnv1a(netlist.cell(CellId{reg}).name));
+      h = hash_combine(h, net_name_hash(netlist, net));
+    }
   }
   return splitmix64(h);
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/netlist/cell_kind.hpp"
@@ -89,6 +90,26 @@ struct Net {
   /// outputs). Set by add_cell for clock cells and by mark_clock_net.
   bool is_clock = false;
   bool alive = true;
+};
+
+/// A declared asynchronous reset root (metadata — the model has no reset
+/// pins; register reset state lives in Cell::init). `release_order` ranks
+/// de-assertion time across roots: a larger value is released later. The
+/// reset-domain analysis (A6, src/analysis/domains.cpp) flags data paths
+/// from a root released no earlier than the destination's.
+struct ResetRoot {
+  NetId net;
+  bool active_low = true;
+  int release_order = 0;
+};
+
+/// Cell and net ids touched by netlist mutations since the journal was
+/// last drained; feeds the incremental AnalysisSession's dirty cone.
+struct TouchedSet {
+  std::vector<CellId> cells;
+  std::vector<NetId> nets;
+
+  [[nodiscard]] bool empty() const { return cells.empty() && nets.empty(); }
 };
 
 class Netlist {
@@ -186,13 +207,61 @@ class Netlist {
   /// the phase. The cell must be a kInput.
   void set_clock_root(CellId input_cell, Phase phase);
 
+  // --- reset metadata ------------------------------------------------------
+
+  /// Declares an async reset root on a kInput cell's net. Pure metadata:
+  /// the net carries no simulated reset waveform and registers have no
+  /// reset pin — only the domain analysis (A6) consumes it.
+  void declare_reset_root(CellId input_cell, bool active_low,
+                          int release_order);
+
+  /// Associates a register with a declared reset root's net (or any net
+  /// that buffers/inverts one). Overwrites a previous association.
+  void set_reset(CellId reg, NetId reset_net);
+
+  /// The reset net associated with `reg`, or an invalid NetId.
+  [[nodiscard]] NetId reset_of(CellId reg) const;
+
+  [[nodiscard]] const std::vector<ResetRoot>& reset_roots() const {
+    return reset_roots_;
+  }
+  /// Sparse register -> reset-net map (cell id value keyed). Iteration
+  /// order is unspecified; sort by key for deterministic output.
+  [[nodiscard]] const std::unordered_map<std::uint32_t, NetId>&
+  reset_assignments() const {
+    return reset_of_;
+  }
+
+  // --- mutation journal ----------------------------------------------------
+
+  /// Starts recording the cell/net ids every mutator touches. Off by
+  /// default (zero overhead for construction-heavy code paths).
+  void enable_journal() { journal_enabled_ = true; }
+  [[nodiscard]] bool journal_enabled() const { return journal_enabled_; }
+
+  /// Drains the journal: returns everything touched since the last call
+  /// (sorted, deduplicated) and clears the recording.
+  TouchedSet take_touched();
+
  private:
+  void touch(CellId cell) {
+    if (journal_enabled_) touched_cells_.push_back(cell);
+  }
+  void touch(NetId net) {
+    if (journal_enabled_) touched_nets_.push_back(net);
+  }
+
   std::string name_;
   std::vector<Cell> cells_;
   std::vector<Net> nets_;
   std::vector<CellId> inputs_;
   std::vector<CellId> outputs_;
   ClockSpec clocks_;
+  std::vector<ResetRoot> reset_roots_;
+  std::unordered_map<std::uint32_t, NetId> reset_of_;
+  bool journal_enabled_ = false;
+  std::vector<CellId> touched_cells_;
+  std::vector<NetId> touched_nets_;
 };
 
 /// Inserts a transparent-high latch on phase `phase` at net `q`: all

@@ -37,7 +37,7 @@ namespace tp::serve {
 
 /// Bump when the payload schema or digest recipe changes: old cache files
 /// are then rejected (and deleted) instead of served.
-inline constexpr std::uint32_t kCacheFormatVersion = 1;
+inline constexpr std::uint32_t kCacheFormatVersion = 2;
 
 struct CacheKey {
   std::uint64_t netlist_hash = 0;  // canonical content hash of the design

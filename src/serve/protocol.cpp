@@ -311,7 +311,7 @@ std::string lint_payload(std::string_view full_payload_json) {
     w.key("error").value(err->as_string());
   }
   for (const char* key :
-       {"lint_clean", "lint_stages", "lint_first_violation"}) {
+       {"lint_clean", "lint_stages", "lint_first_violation", "domains"}) {
     if (const Json* member = full.find(key); member != nullptr) {
       w.key(key);
       write_json(w, *member);

@@ -114,8 +114,8 @@ std::string power_payload(std::string_view full_payload_json);
 
 /// Reduces a full convert payload to the lint payload: identity fields
 /// plus the per-stage lint verdict (lint_clean, lint_stages,
-/// lint_first_violation). Deterministic bytes-to-bytes like
-/// power_payload().
+/// lint_first_violation) and the clock/reset-domain summary ("domains").
+/// Deterministic bytes-to-bytes like power_payload().
 std::string lint_payload(std::string_view full_payload_json);
 
 }  // namespace tp::serve

@@ -3,17 +3,22 @@
 // clean-flow sweeps, and the per-stage blame integration in run_flow().
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "src/analysis/analysis.hpp"
 #include "src/check/checker.hpp"
 #include "src/check/rules.hpp"
 #include "src/circuits/benchmark.hpp"
 #include "src/circuits/workload.hpp"
+#include "src/flow/backend.hpp"
 #include "src/flow/flow.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/netlist/traverse.hpp"
+#include "src/transform/clock_gating.hpp"
 #include "src/util/json.hpp"
 #include "src/util/log.hpp"
 
@@ -672,6 +677,133 @@ TEST(CheckFlow, InjectedMixedPhaseIcgBlamesItsStage) {
   ASSERT_NE(blamed, nullptr);
   EXPECT_EQ(blamed->stage, "retime");
   EXPECT_GE(blamed->report.count(RuleId::kMixedPhaseIcg), 1)
+      << blamed->report.to_text();
+  for (const flow::StageLint& stage : r.lint.stages) {
+    if (&stage == blamed) break;
+    EXPECT_TRUE(stage.report.clean()) << stage.stage;
+  }
+}
+
+// --- per-backend domain-rule seeds (A4 cdc-unsync, A6 rdc-crossing) ---------
+
+/// s1423 converted by `backend` outside the flow (the backend_test
+/// pattern): clock-gating front-end, then the backend's own pipeline.
+Netlist domain_seed_netlist(const flow::ConversionBackend& backend) {
+  const circuits::Benchmark bm = circuits::make_benchmark("s1423");
+  Netlist netlist = bm.netlist;
+  infer_clock_gating(netlist);
+  const flow::FlowOptions options = flow::FlowOptions::fast();
+  flow::FlowResult scratch;
+  flow::FlowContext ctx{
+      .netlist = netlist,
+      .options = options,
+      .library = CellLibrary::nominal_28nm(),
+      .result = scratch,
+      .checkpoint = [](std::string_view) {},
+      .activity = [] { return ActivityStats{}; },
+  };
+  backend.convert(ctx);
+  return netlist;
+}
+
+class BackendDomainSeeds
+    : public ::testing::TestWithParam<const flow::ConversionBackend*> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, BackendDomainSeeds,
+    ::testing::ValuesIn(flow::backend_registry()),
+    [](const ::testing::TestParamInfo<const flow::ConversionBackend*>&
+           info) { return std::string(info.param->token()); });
+
+TEST_P(BackendDomainSeeds, RuleSetAdvertisesDomainRules) {
+  const std::vector<RuleId> rules = GetParam()->rule_set();
+  for (const RuleId rule : {RuleId::kCdcUnsync, RuleId::kCdcReconverge,
+                            RuleId::kRdcCrossing}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
+        << rule_name(rule);
+  }
+}
+
+TEST_P(BackendDomainSeeds, SeededCdcIsDetectedAndWaivable) {
+  const flow::ConversionBackend& backend = *GetParam();
+  Netlist netlist = domain_seed_netlist(backend);
+  const CheckReport before = analysis::run_analysis(netlist);
+  const RuleId rule = backend.seed_cdc_violation(netlist);
+  EXPECT_EQ(rule, RuleId::kCdcUnsync);
+  ASSERT_EQ(before.count(rule), 0) << before.to_text();
+  const CheckReport after = analysis::run_analysis(netlist);
+  EXPECT_GE(after.count(rule), 1) << after.to_text();
+
+  // Waiver round-trip: the report's own baseline must silence it.
+  std::istringstream baseline(after.to_baseline());
+  analysis::AnalysisOptions waived;
+  waived.check.waivers = WaiverSet::parse(baseline);
+  const CheckReport silenced = analysis::run_analysis(netlist, waived);
+  EXPECT_EQ(silenced.count(rule), 0) << silenced.to_text();
+  EXPECT_TRUE(silenced.clean()) << silenced.to_text();
+  EXPECT_GE(silenced.waived, after.count(rule));
+}
+
+TEST_P(BackendDomainSeeds, SeededRdcIsDetectedAndWaivable) {
+  const flow::ConversionBackend& backend = *GetParam();
+  Netlist netlist = domain_seed_netlist(backend);
+  const CheckReport before = analysis::run_analysis(netlist);
+  const RuleId rule = backend.seed_rdc_violation(netlist);
+  EXPECT_EQ(rule, RuleId::kRdcCrossing);
+  ASSERT_EQ(before.count(rule), 0) << before.to_text();
+  const CheckReport after = analysis::run_analysis(netlist);
+  EXPECT_GE(after.count(rule), 1) << after.to_text();
+
+  std::istringstream baseline(after.to_baseline());
+  analysis::AnalysisOptions waived;
+  waived.check.waivers = WaiverSet::parse(baseline);
+  const CheckReport silenced = analysis::run_analysis(netlist, waived);
+  EXPECT_EQ(silenced.count(rule), 0) << silenced.to_text();
+  EXPECT_TRUE(silenced.clean()) << silenced.to_text();
+  EXPECT_GE(silenced.waived, after.count(rule));
+}
+
+// Plants both domain violations "inside" the hold-repair stage of a real
+// flow and requires the analysis checkpoints to blame exactly that stage.
+// The A6 plant reuses two existing primary inputs as reset roots so the
+// final validation simulation keeps its stimulus shape.
+TEST_P(BackendDomainSeeds, FlowCheckpointBlamesSeededStage) {
+  const flow::ConversionBackend& backend = *GetParam();
+  const circuits::Benchmark bm = circuits::make_benchmark("s1423");
+  const Stimulus stim =
+      circuits::make_stimulus(bm, circuits::Workload::kPaperDefault, 16);
+  flow::FlowOptions options;
+  options.check_rules = true;
+  options.check_analysis = true;
+  options.stage_hook = [&backend](Netlist& nl, std::string_view stage) {
+    if (stage != "hold-repair") return;
+    ASSERT_EQ(backend.seed_cdc_violation(nl), RuleId::kCdcUnsync);
+    // A6 via existing PIs: put the two ends of a register-graph edge in
+    // reset domains whose release order is inverted.
+    const RegisterGraph graph = build_register_graph(nl);
+    const std::vector<CellId> data_pis = nl.data_inputs();
+    ASSERT_GE(data_pis.size(), 2u);
+    for (std::size_t u = 0; u < graph.regs.size(); ++u) {
+      for (const int v : graph.fanout[u]) {
+        if (static_cast<std::size_t>(v) == u) continue;
+        nl.declare_reset_root(data_pis[0], true, /*release_order=*/1);
+        nl.declare_reset_root(data_pis[1], true, /*release_order=*/0);
+        nl.set_reset(graph.regs[u], nl.cell(data_pis[0]).out);
+        nl.set_reset(graph.regs[static_cast<std::size_t>(v)],
+                     nl.cell(data_pis[1]).out);
+        return;
+      }
+    }
+    FAIL() << "no register-to-register edge to put in a reset domain";
+  };
+
+  const flow::FlowResult r = flow::run_flow(bm, backend.id(), stim, options);
+  const flow::StageLint* blamed = r.lint.first_violation();
+  ASSERT_NE(blamed, nullptr);
+  EXPECT_EQ(blamed->stage, "hold-repair");
+  EXPECT_GE(blamed->report.count(RuleId::kCdcUnsync), 1)
+      << blamed->report.to_text();
+  EXPECT_GE(blamed->report.count(RuleId::kRdcCrossing), 1)
       << blamed->report.to_text();
   for (const flow::StageLint& stage : r.lint.stages) {
     if (&stage == blamed) break;

@@ -5,6 +5,8 @@
 
 #include "src/circuits/benchmark.hpp"
 #include "src/cts/cts.hpp"
+#include "src/flow/backend.hpp"
+#include "src/flow/serialize.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/phase/schedule.hpp"
 #include "src/sim/stimulus.hpp"
@@ -130,6 +132,58 @@ TEST(OutputTiming, PoSetupCheckCatchesSlowCones) {
   with_po.output_setup_ps = 50;  // ~720 ps cone into a 600 ps cycle
   EXPECT_FALSE(check_timing(nl, lib(), with_po).setup_ok);
 }
+
+class BackendRegistryFuzz
+    : public ::testing::TestWithParam<const flow::ConversionBackend*> {};
+
+// The fuzz grid draws its backend list from the registry itself, so a
+// newly registered backend is fuzzed without touching this file.
+TEST_P(BackendRegistryFuzz, TokenRoundTripsAndConvertsRandomCircuits) {
+  const flow::ConversionBackend* backend = GetParam();
+  SCOPED_TRACE(std::string(backend->token()));
+  // Token <-> style mapping is the registry's contract with every CLI and
+  // the serve protocol.
+  EXPECT_EQ(flow::find_backend(backend->token()), backend);
+  flow::DesignStyle style;
+  ASSERT_TRUE(flow::style_from_name(backend->token(), &style));
+  EXPECT_EQ(style, backend->id());
+  EXPECT_FALSE(backend->rule_set().empty());
+
+  for (int trial = 0; trial < 3; ++trial) {
+    testing::RandomCircuitSpec spec;
+    spec.seed = 977 + static_cast<std::uint64_t>(backend->id()) * 131 +
+                static_cast<std::uint64_t>(trial) * 17;
+    spec.num_ffs = 6 + trial * 5;
+    spec.num_gates = 24 + trial * 13;
+    Netlist nl = testing::random_ff_circuit(spec);
+    infer_clock_gating(nl);
+    const flow::FlowOptions options = flow::FlowOptions::fast();
+    flow::FlowResult scratch;
+    flow::FlowContext ctx{
+        .netlist = nl,
+        .options = options,
+        .library = lib(),
+        .result = scratch,
+        .checkpoint = [](std::string_view) {},
+        .activity = [] { return ActivityStats{}; },
+    };
+    backend->convert(ctx);
+    nl.validate();
+    // Round-trip through the Verilog writer/parser (the writer renames
+    // output ports, so the gate is structural validity plus matching
+    // sequential population, not byte-identical text).
+    const Netlist parsed = read_verilog_string(to_verilog(nl));
+    parsed.validate();
+    EXPECT_EQ(parsed.registers().size(), nl.registers().size())
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, BackendRegistryFuzz,
+    ::testing::ValuesIn(flow::backend_registry()),
+    [](const ::testing::TestParamInfo<const flow::ConversionBackend*>&
+           info) { return std::string(info.param->token()); });
 
 TEST(Determinism, GeneratedCircuitsAndFlowsAreStable) {
   // Same benchmark, same stimulus: identical netlist text across calls.

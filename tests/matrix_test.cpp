@@ -402,6 +402,43 @@ TEST(RunMatrix, FannedOutCheckpointsMatchInlineCheckpoints) {
   EXPECT_TRUE(streams_equal(inline_run.outputs, fanned.outputs));
 }
 
+// Deterministic-report regression (runs under TSan in CI): the per-stage
+// lint+analysis reports of one flow must be byte-identical JSON whether
+// the checkpoints run inline (incremental AnalysisSession), fanned out on
+// 1 worker, or fanned out on 8 workers — finalize_report's canonical
+// diagnostic ordering is what makes the parallel merge converge.
+TEST(RunMatrix, LintWaveJsonByteIdenticalAcrossThreadCounts) {
+  const circuits::Benchmark bench = circuits::make_benchmark("s1423");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 32, 7);
+
+  const auto wave_bytes = [&](util::Executor* executor) {
+    FlowOptions options;
+    options.check_rules = true;
+    options.check_analysis = true;
+    options.executor = executor;
+    const FlowResult r =
+        run_flow(bench, DesignStyle::kThreePhase, stim, options);
+    std::string bytes;
+    for (const flow::StageLint& stage : r.lint.stages) {
+      bytes += stage.stage;
+      bytes += '\n';
+      bytes += stage.report.to_json();
+      bytes += '\n';
+    }
+    return bytes;
+  };
+
+  const std::string inline_bytes = wave_bytes(nullptr);
+  util::Executor one(1);
+  const std::string one_bytes = wave_bytes(&one);
+  util::Executor eight(8);
+  const std::string eight_bytes = wave_bytes(&eight);
+  EXPECT_EQ(one_bytes, eight_bytes);
+  EXPECT_EQ(inline_bytes, one_bytes);
+  EXPECT_FALSE(inline_bytes.empty());
+}
+
 TEST(RunMatrix, FannedOutSecCheckpointsStillBlameInjectedStage) {
   // The stage_hook fault-injection protocol must survive the fan-out: the
   // hook mutates the live netlist synchronously, the snapshot is taken

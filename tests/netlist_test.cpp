@@ -126,6 +126,55 @@ Netlist reg_chain() {
   return nl;
 }
 
+TEST(Netlist, JournalDrainsSortedDedupedAndClears) {
+  Netlist nl("j");
+  const CellId clk = nl.add_input("clk");
+  nl.set_clock_root(clk, Phase::kClk);
+  const CellId a = nl.add_input("a");
+  nl.enable_journal();
+  EXPECT_TRUE(nl.take_touched().empty());
+
+  const CellId ff = nl.add_gate(CellKind::kDff, "ff",
+                                {nl.cell(a).out, nl.cell(clk).out},
+                                Phase::kClk);
+  nl.replace_input(ff, 0, nl.cell(a).out);  // re-touches the same ids
+  const TouchedSet touched = nl.take_touched();
+  EXPECT_FALSE(touched.empty());
+  for (std::size_t i = 1; i < touched.cells.size(); ++i) {
+    EXPECT_LT(touched.cells[i - 1].value(), touched.cells[i].value());
+  }
+  for (std::size_t i = 1; i < touched.nets.size(); ++i) {
+    EXPECT_LT(touched.nets[i - 1].value(), touched.nets[i].value());
+  }
+  // Draining clears the recording; journaling stays enabled.
+  EXPECT_TRUE(nl.take_touched().empty());
+  EXPECT_TRUE(nl.journal_enabled());
+}
+
+TEST(Netlist, ResetMetadataValidatesAndRoundTrips) {
+  Netlist nl("r");
+  const CellId clk = nl.add_input("clk");
+  nl.set_clock_root(clk, Phase::kClk);
+  const CellId d = nl.add_input("d");
+  const CellId rst = nl.add_input("rst_n");
+  const CellId ff = nl.add_gate(CellKind::kDff, "ff",
+                                {nl.cell(d).out, nl.cell(clk).out},
+                                Phase::kClk);
+  const CellId inv = nl.add_gate(CellKind::kInv, "i", {nl.cell(d).out});
+
+  EXPECT_THROW(nl.declare_reset_root(ff, true, 0), Error);  // not a kInput
+  nl.declare_reset_root(rst, /*active_low=*/true, /*release_order=*/0);
+  EXPECT_THROW(nl.declare_reset_root(rst, true, 1), Error);  // duplicate
+  EXPECT_THROW(nl.set_reset(inv, nl.cell(rst).out), Error);  // not a reg
+
+  EXPECT_FALSE(nl.reset_of(ff).valid());
+  nl.set_reset(ff, nl.cell(rst).out);
+  EXPECT_EQ(nl.reset_of(ff).value(), nl.cell(rst).out.value());
+  ASSERT_EQ(nl.reset_roots().size(), 1u);
+  EXPECT_TRUE(nl.reset_roots()[0].active_low);
+  EXPECT_EQ(nl.reset_roots()[0].release_order, 0);
+}
+
 TEST(Traverse, LevelizeOrdersCombCells) {
   Netlist nl = small_comb();
   const Levelization lev = levelize(nl);
