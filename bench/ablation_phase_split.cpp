@@ -8,6 +8,7 @@
 
 #include "src/circuits/benchmark.hpp"
 #include "src/phase/schedule.hpp"
+#include "src/timing/incremental.hpp"
 #include "src/timing/sta.hpp"
 #include "src/transform/buffering.hpp"
 #include "src/transform/clock_gating.hpp"
@@ -39,12 +40,12 @@ int main() {
     Netlist uniform = converted.netlist;
     apply_phase_schedule(uniform, converted.netlist.clocks().period_ps / 3,
                          2 * converted.netlist.clocks().period_ps / 3);
-    const std::int64_t tmin_uniform = min_period_ps(
+    const MinPeriodResult tmin_uniform = find_min_period(
         uniform, lib, converted.netlist.clocks().period_ps / 4,
         2 * converted.netlist.clocks().period_ps);
     Netlist best = converted.netlist;
     apply_phase_schedule(best, e.best.e1_ps, e.best.e2_ps);
-    const std::int64_t tmin_best = min_period_ps(
+    const MinPeriodResult tmin_best = find_min_period(
         best, lib, converted.netlist.clocks().period_ps / 4,
         2 * converted.netlist.clocks().period_ps);
 
@@ -53,8 +54,10 @@ int main() {
                 e.best.worst_setup_slack_ps,
                 static_cast<double>(e.best.e1_ps) / period,
                 static_cast<double>(e.best.e2_ps) / period,
-                static_cast<long long>(tmin_uniform),
-                static_cast<long long>(tmin_best));
+                static_cast<long long>(
+                    tmin_uniform.feasible ? tmin_uniform.period_ps : -1),
+                static_cast<long long>(
+                    tmin_best.feasible ? tmin_best.period_ps : -1));
     std::fflush(stdout);
   }
   std::printf("\nNon-uniform closing edges trade borrowing windows between "

@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
   const std::size_t num_styles = plan.styles.size();
 
   std::printf("Run-time decomposition (seconds)\n\n");
-  std::printf("%-8s %-4s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n", "design",
-              "style", "synth", "ilp", "convert", "retime", "cg", "hold",
-              "place", "cts", "total");
+  std::printf("%-8s %-4s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+              "design", "style", "synth", "ilp", "convert", "retime", "cg",
+              "hold", "place", "cts", "sta.full", "sta.inc", "total");
   double total[3] = {0, 0, 0};
   double ilp_total = 0, cts_total[3] = {0, 0, 0};
   for (std::size_t b = 0; b < plan.benchmarks.size(); ++b) {
@@ -46,12 +46,12 @@ int main(int argc, char** argv) {
       const MatrixResult& run = results[b * num_styles + i];
       const StepTimes& t = run.result.times;
       std::printf("%-8s %-4s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f "
-                  "%8.3f %8.3f\n",
+                  "%8.3f %8.3f %8.3f %8.3f\n",
                   run.task.benchmark.c_str(),
                   std::string(style_name(run.task.style)).c_str(),
                   t.synthesis_s, t.ilp_s, t.convert_s, t.retime_s,
                   t.clock_gating_s, t.hold_s, t.place_s, t.cts_s,
-                  t.total_s());
+                  t.sta_full_s, t.sta_incremental_s, t.total_s());
       std::fflush(stdout);
       total[i] += t.total_s();
       cts_total[i] += t.cts_s;

@@ -8,6 +8,7 @@
 #include "src/circuits/builder.hpp"
 #include "src/netlist/traverse.hpp"
 #include "src/phase/assignment.hpp"
+#include "src/timing/incremental.hpp"
 #include "src/timing/sta.hpp"
 #include "src/transform/clock_gating.hpp"
 #include "src/transform/convert.hpp"
@@ -64,9 +65,9 @@ int main() {
   options.precomputed = &exact;
   const ThreePhaseResult p3 = to_three_phase(ff, options);
   std::printf("min period: FF %lld ps, M-S %lld ps, 3-phase %lld ps\n",
-              static_cast<long long>(min_period_ps(ff, lib, 100, 4000)),
-              static_cast<long long>(min_period_ps(ms, lib, 100, 4000)),
+              static_cast<long long>(find_min_period(ff, lib, 100, 4000).period_ps),
+              static_cast<long long>(find_min_period(ms, lib, 100, 4000).period_ps),
               static_cast<long long>(
-                  min_period_ps(p3.netlist, lib, 100, 4000)));
+                  find_min_period(p3.netlist, lib, 100, 4000).period_ps));
   return 0;
 }

@@ -205,6 +205,9 @@ int main(int argc, char** argv) {
       std::printf("  hold repair      %d buffer(s), %.3f s\n",
                   r.hold.buffers_inserted, r.times.hold_s);
     }
+    std::printf("  STA split        full %.3f s, incremental %.3f s%s\n",
+                r.times.sta_full_s, r.times.sta_incremental_s,
+                options.incremental_timing ? "" : " (session off)");
     if (style == DesignStyle::kTwoPhase) {
       std::printf("  duplicated ICGs  %d (clkbar side)\n",
                   r.duplicated_icgs);

@@ -37,4 +37,25 @@ Netlist make_iscas(const std::string& name, std::int64_t period_ps);
 Netlist make_cep(const std::string& name, std::int64_t period_ps);
 Netlist make_cpu(const std::string& name, std::int64_t period_ps);
 
+/// Macro-scale pipeline grid for the runtime benchmarks (bench/macro_flow):
+/// `lanes` parallel register pipelines of `width` bits, deep enough to hold
+/// ~`flip_flops` registers, mixing bounded-depth logic stages, a sparse
+/// direct-shift lane (hold pressure for repair_hold), cross-lane XOR
+/// coupling, and a
+/// per-lane feedback register. With `three_phase` the banks are kLatchH
+/// latches cycling p1/p2/p3 with stage depth (a ready-made 3-phase design,
+/// no conversion needed); otherwise plain kDff on a single-phase clock.
+/// Deterministic for a given spec.
+struct MacroSpec {
+  int flip_flops = 1000;
+  int lanes = 8;
+  int width = 16;
+  int gates_per_stage = 24;
+  bool three_phase = false;
+  std::int64_t period_ps = 2000;
+  std::uint64_t seed = 0xAC0;
+};
+
+Netlist make_macro(const MacroSpec& spec);
+
 }  // namespace tp::circuits

@@ -1,0 +1,131 @@
+// Macro-scale pipeline generator for the incremental-STA / parallel-flow
+// benchmarks (bench/macro_flow).
+//
+// Unlike the Table I/II benchmarks, which are tuned to the paper's reported
+// register counts, make_macro steps freely from a few hundred registers to
+// 10^6 so the asymptotic cost of full-vs-incremental timing can be
+// measured. The structure is a lanes x depth pipeline grid chosen to
+// exercise every hot path the incremental timer must get right:
+//   - logic stages: bounded-depth random clouds (setup pressure, realistic
+//     fanout for the SoA propagation loops);
+//   - direct shift segments (every fourth stage, lane 0 only): q -> d with
+//     no logic, so repair_hold has real buffering work on a few percent of
+//     endpoints whose fanout cones are tiny compared to the design — the
+//     incremental win case;
+//   - cross-lane coupling (every third stage): XOR taps from the neighbor
+//     lane, so edits in one lane have cones that spill into others;
+//   - per-lane feedback registers, so the design is cyclic like the CPU
+//     benchmarks and launch classes reconverge.
+// The FF variant registers on a single-phase clock; the three-phase variant
+// places kLatchH banks directly on p1/p2/p3 (cycling with stage depth), so
+// the STA benchmarks can hit transparency windows and borrowing chains
+// without running a conversion first. Both variants are deterministic for a
+// given spec.
+#include "src/circuits/benchmark.hpp"
+#include "src/circuits/builder.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp::circuits {
+
+Netlist make_macro(const MacroSpec& spec) {
+  const int lanes = std::max(1, spec.lanes);
+  const int width = std::max(1, spec.width);
+  const int regs_per_stage = lanes * width;
+  const int depth = std::max(
+      2, (spec.flip_flops + regs_per_stage - 1) / regs_per_stage);
+
+  Netlist nl(cat("macro", spec.flip_flops, spec.three_phase ? "_3p" : "_ff"));
+  NetId clk_roots[3];
+  Phase clk_phases[3];
+  if (spec.three_phase) {
+    const CellId p1 = nl.add_input("p1");
+    const CellId p2 = nl.add_input("p2");
+    const CellId p3 = nl.add_input("p3");
+    nl.set_clock_root(p1, Phase::kP1);
+    nl.set_clock_root(p2, Phase::kP2);
+    nl.set_clock_root(p3, Phase::kP3);
+    nl.clocks() = three_phase_spec(spec.period_ps, nl.cell(p1).out,
+                                   nl.cell(p2).out, nl.cell(p3).out);
+    clk_roots[0] = nl.cell(p1).out;
+    clk_roots[1] = nl.cell(p2).out;
+    clk_roots[2] = nl.cell(p3).out;
+    clk_phases[0] = Phase::kP1;
+    clk_phases[1] = Phase::kP2;
+    clk_phases[2] = Phase::kP3;
+  } else {
+    const CellId clk = nl.add_input("clk");
+    nl.set_clock_root(clk, Phase::kClk);
+    nl.clocks() = single_phase_spec(spec.period_ps, nl.cell(clk).out);
+    clk_roots[0] = clk_roots[1] = clk_roots[2] = nl.cell(clk).out;
+    clk_phases[0] = clk_phases[1] = clk_phases[2] = Phase::kClk;
+  }
+  Rng rng(spec.seed ^ (static_cast<std::uint64_t>(spec.flip_flops) << 20) ^
+          (spec.three_phase ? 0x3Fu : 0x0u));
+  Builder b(nl, clk_roots[0], rng);
+
+  // One register bank; the three-phase variant cycles p1/p2/p3 with stage
+  // depth so consecutive stages borrow across adjacent windows.
+  auto reg_bank = [&](const std::string& prefix, const Bus& d,
+                      int stage) -> Bus {
+    if (!spec.three_phase) return b.ff_bank(prefix, d);
+    const int k = stage % 3;
+    Bus q;
+    q.reserve(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const NetId out = nl.add_net(cat(prefix, i));
+      nl.add_cell(CellKind::kLatchH, cat(prefix, i), {d[i], clk_roots[k]},
+                  out, clk_phases[k]);
+      q.push_back(out);
+    }
+    return q;
+  };
+
+  std::vector<Bus> state(static_cast<std::size_t>(lanes));
+  for (int lane = 0; lane < lanes; ++lane) {
+    state[static_cast<std::size_t>(lane)] =
+        b.inputs(cat("l", lane, "_in"), width);
+  }
+
+  for (int s = 0; s < depth; ++s) {
+    std::vector<Bus> next(static_cast<std::size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+      const Bus& cur = state[static_cast<std::size_t>(lane)];
+      Bus d;
+      if (s % 4 == 3 && lane == 0) {
+        // Direct shift segment on one lane only: hold pressure stays
+        // sparse (a few percent of endpoints, like post-CTS reality), so
+        // repair touches small cones instead of half the netlist.
+        d = cur;
+      } else if (s % 3 == 1 && lanes > 1) {
+        const Bus& neighbor =
+            state[static_cast<std::size_t>((lane + 1) % lanes)];
+        d = b.bitwise(CellKind::kXor2, cat("l", lane, "_x", s), cur,
+                      Builder::rotate(neighbor, 1));
+      } else {
+        d = b.random_cloud(cat("l", lane, "_c", s), cur,
+                           spec.gates_per_stage, width, /*max_depth=*/6);
+      }
+      next[static_cast<std::size_t>(lane)] =
+          reg_bank(cat("l", lane, "_r", s, "_"), d, s);
+    }
+    state = std::move(next);
+  }
+
+  // Per-lane feedback register: fb <- xor_reduce(last bank) ^ fb. Bootstrap
+  // the self-edge through replace_input, like the ISCAS control clusters.
+  for (int lane = 0; lane < lanes; ++lane) {
+    const Bus& last = state[static_cast<std::size_t>(lane)];
+    const NetId reduced = b.xor_reduce(cat("l", lane, "_red"), last);
+    const CellId mix =
+        nl.add_gate(CellKind::kXor2, cat("l", lane, "_fbmix"),
+                    {reduced, reduced});
+    const Bus fb =
+        reg_bank(cat("l", lane, "_fb"), {nl.cell(mix).out}, depth);
+    nl.replace_input(mix, 1, fb[0]);
+    nl.add_output(cat("l", lane, "_fbo"), fb[0]);
+    b.outputs(cat("l", lane, "_out"), last);
+  }
+  return nl;
+}
+
+}  // namespace tp::circuits

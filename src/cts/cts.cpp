@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+
+#include "src/util/executor.hpp"
 
 namespace tp {
 namespace {
@@ -35,6 +38,53 @@ double cluster_hpwl(const std::vector<Point>& points, std::size_t begin,
   return (x1 - x0) + (y1 - y0);
 }
 
+/// Builds the buffered tree of one clock net: a pure function of the net's
+/// sink positions, so the per-net builds can run as parallel tasks.
+ClockNetTree build_tree(const Netlist& netlist, const Placement& placement,
+                        NetId net_id, double die, int max_fanout) {
+  const Net& net = netlist.net(net_id);
+  // Sinks: every fanout pin (register clock pins, downstream ICG/buffer
+  // clock pins).
+  std::vector<Point> sinks;
+  for (const PinRef& ref : net.fanouts) {
+    const auto& [x, y] = placement.pos[ref.cell.value()];
+    sinks.push_back({x, y});
+  }
+  ClockNetTree tree;
+  tree.net = net_id;
+  tree.sinks = static_cast<int>(sinks.size());
+  // Recursive bottom-up clustering in Morton order.
+  std::vector<Point> level = std::move(sinks);
+  while (static_cast<int>(level.size()) > max_fanout) {
+    std::sort(level.begin(), level.end(), [&](const Point& a,
+                                              const Point& b) {
+      return morton(a.x, a.y, die) < morton(b.x, b.y, die);
+    });
+    std::vector<Point> next;
+    for (std::size_t i = 0; i < level.size();
+         i += static_cast<std::size_t>(max_fanout)) {
+      const std::size_t end = std::min(
+          level.size(), i + static_cast<std::size_t>(max_fanout));
+      tree.wire_um += cluster_hpwl(level, i, end);
+      double cx = 0, cy = 0;
+      for (std::size_t j = i; j < end; ++j) {
+        cx += level[j].x;
+        cy += level[j].y;
+      }
+      const auto count = static_cast<double>(end - i);
+      next.push_back({cx / count, cy / count});
+      ++tree.buffers;
+    }
+    level = std::move(next);
+    ++tree.levels;
+  }
+  // Root segment: remaining nodes wired to the net driver (or die center
+  // for root phase nets driven by input pads).
+  tree.wire_um += cluster_hpwl(level, 0, level.size()) +
+                  die / 4.0;  // trunk from the clock entry point
+  return tree;
+}
+
 }  // namespace
 
 ClockTreeReport synthesize_clock_trees(const Netlist& netlist,
@@ -45,55 +95,41 @@ ClockTreeReport synthesize_clock_trees(const Netlist& netlist,
   report.wire_of_net.assign(netlist.num_nets(), 0);
   const double die = std::max(placement.width_um, 1.0);
 
+  // Nets needing a tree, in id order (nets without sinks need none).
+  std::vector<NetId> clock_nets;
   for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
     const Net& net = netlist.net(NetId{n});
-    if (!net.alive || !net.is_clock) continue;
-    // Sinks: every fanout pin (register clock pins, downstream ICG/buffer
-    // clock pins). Nets without sinks need no tree.
-    std::vector<Point> sinks;
-    for (const PinRef& ref : net.fanouts) {
-      const auto& [x, y] = placement.pos[ref.cell.value()];
-      sinks.push_back({x, y});
+    if (net.alive && net.is_clock && !net.fanouts.empty()) {
+      clock_nets.push_back(NetId{n});
     }
-    if (sinks.empty()) continue;
+  }
 
-    ClockNetTree tree;
-    tree.net = NetId{n};
-    tree.sinks = static_cast<int>(sinks.size());
-    // Recursive bottom-up clustering in Morton order.
-    std::vector<Point> level = std::move(sinks);
-    while (static_cast<int>(level.size()) > options.max_fanout) {
-      std::sort(level.begin(), level.end(), [&](const Point& a,
-                                                const Point& b) {
-        return morton(a.x, a.y, die) < morton(b.x, b.y, die);
-      });
-      std::vector<Point> next;
-      for (std::size_t i = 0; i < level.size();
-           i += static_cast<std::size_t>(options.max_fanout)) {
-        const std::size_t end = std::min(
-            level.size(), i + static_cast<std::size_t>(options.max_fanout));
-        tree.wire_um += cluster_hpwl(level, i, end);
-        double cx = 0, cy = 0;
-        for (std::size_t j = i; j < end; ++j) {
-          cx += level[j].x;
-          cy += level[j].y;
-        }
-        const auto count = static_cast<double>(end - i);
-        next.push_back({cx / count, cy / count});
-        ++tree.buffers;
-      }
-      level = std::move(next);
-      ++tree.levels;
+  // Each tree is a pure function of one net's sinks; build them into
+  // indexed slots (parallel tasks with a pool, one loop without) and fold
+  // the totals in net-id order, so the report is identical either way.
+  std::vector<ClockNetTree> trees(clock_nets.size());
+  const auto build = [&](std::size_t i) {
+    trees[i] = build_tree(netlist, placement, clock_nets[i], die,
+                          options.max_fanout);
+  };
+  if (options.executor != nullptr && clock_nets.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(clock_nets.size());
+    for (std::size_t i = 0; i < clock_nets.size(); ++i) {
+      futures.push_back(options.executor->submit([&build, i] { build(i); }));
     }
-    // Root segment: remaining nodes wired to the net driver (or die center
-    // for root phase nets driven by input pads).
-    tree.wire_um += cluster_hpwl(level, 0, level.size()) +
-                    die / 4.0;  // trunk from the clock entry point
+    for (auto& future : futures) {
+      options.executor->wait(std::move(future));
+    }
+  } else {
+    for (std::size_t i = 0; i < clock_nets.size(); ++i) build(i);
+  }
 
+  for (const ClockNetTree& tree : trees) {
     report.total_buffers += tree.buffers;
     report.total_wire_um += tree.wire_um;
-    report.buffers_of_net[n] = tree.buffers;
-    report.wire_of_net[n] = tree.wire_um;
+    report.buffers_of_net[tree.net.value()] = tree.buffers;
+    report.wire_of_net[tree.net.value()] = tree.wire_um;
     report.nets.push_back(tree);
   }
   return report;

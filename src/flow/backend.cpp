@@ -15,7 +15,8 @@ using check::RuleId;
 /// margins, then worst-case full-borrowing launch seeds.
 RetimeResult retime_with_closure(Netlist& netlist,
                                  const CellLibrary& library, Phase movable,
-                                 const TimingOptions& timing) {
+                                 const TimingOptions& timing,
+                                 util::Executor* executor) {
   struct Attempt {
     double margin;
     bool full_borrowing;
@@ -29,7 +30,8 @@ RetimeResult retime_with_closure(Netlist& netlist,
         netlist, library,
         {.movable_phase = movable,
          .margin_ps = attempt.margin,
-         .assume_full_borrowing = attempt.full_borrowing});
+         .assume_full_borrowing = attempt.full_borrowing,
+         .executor = executor});
     if (check_timing(netlist, library, timing).setup_ok) break;
   }
   return result;
@@ -106,7 +108,8 @@ class MasterSlaveBackend final : public ConversionBackend {
     step.reset();
     if (ctx.options.retime && ctx.options.retime_master_slave) {
       ctx.result.retime = retime_with_closure(
-          ctx.netlist, ctx.library, Phase::kClk, ctx.options.timing);
+          ctx.netlist, ctx.library, Phase::kClk, ctx.options.timing,
+          ctx.options.executor);
       ctx.result.times.retime_s = step.seconds();
       ctx.checkpoint("retime");
     }
@@ -170,7 +173,7 @@ class ThreePhaseBackend final : public ConversionBackend {
 
     if (options.retime) {
       result.retime = retime_with_closure(netlist, ctx.library, Phase::kP2,
-                                          options.timing);
+                                          options.timing, options.executor);
       result.times.retime_s = step.seconds();
       ctx.checkpoint("retime");
       step.reset();

@@ -10,6 +10,7 @@
 #include "src/flow/backend.hpp"
 #include "src/netlist/traverse.hpp"
 #include "src/place/placer.hpp"
+#include "src/timing/incremental.hpp"
 #include "src/util/executor.hpp"
 
 namespace tp::flow {
@@ -263,23 +264,45 @@ FlowResult run_flow(const circuits::Benchmark& benchmark, DesignStyle style,
   step.reset();
 
   // 3. Hold repair, then timing signoff (accounted separately: hold_s is
-  // buffer insertion work, timing_s is the STA pass).
+  // buffer insertion work, timing_s is the STA pass). One incremental
+  // session spans both: repair passes after the first re-time only the
+  // cones of the buffers just inserted, and the signoff patches from the
+  // repaired state instead of running a sixth cold STA.
+  std::optional<IncrementalTimer> timer;
+  if (options.incremental_timing) {
+    netlist.enable_journal();
+    timer.emplace(library, options.timing);
+  }
   if (options.hold_repair) {
-    result.hold = repair_hold(netlist, library, options.timing);
+    result.hold = repair_hold(netlist, library, options.timing, 10,
+                              timer ? &*timer : nullptr);
     result.times.hold_s = step.seconds();
     checkpoint("hold-repair");
     step.reset();
   }
-  result.timing = check_timing(netlist, library, options.timing);
+  result.timing = timer ? timer->sync(netlist)
+                        : check_timing(netlist, library, options.timing);
   result.times.timing_s += step.seconds();
+  if (timer) {
+    result.times.sta_full_s = timer->stats().full_seconds;
+    result.times.sta_incremental_s = timer->stats().incremental_seconds;
+  } else {
+    result.times.sta_full_s = result.hold.sta_full_s + result.times.timing_s;
+  }
   step.reset();
 
-  // 4. Physical design: place, then one clock tree per phase.
-  const Placement placement = place(netlist, library, options.place);
+  // 4. Physical design: place, then one clock tree per phase. Both stages
+  // parallelize internally on the flow's pool (bit-identical to serial —
+  // their options document the contract).
+  PlaceOptions place_options = options.place;
+  place_options.executor = options.executor;
+  const Placement placement = place(netlist, library, place_options);
   result.times.place_s = step.seconds();
   step.reset();
+  CtsOptions cts_options = options.cts;
+  cts_options.executor = options.executor;
   const ClockTreeReport clock_tree =
-      synthesize_clock_trees(netlist, placement, options.cts);
+      synthesize_clock_trees(netlist, placement, cts_options);
   result.times.cts_s = step.seconds();
   step.reset();
 

@@ -69,6 +69,13 @@ struct FlowOptions {
   bool ddcg = true;
   DdcgOptions ddcg_options;
   bool hold_repair = true;
+  /// Keep one IncrementalTimer session alive across the timed stages (hold
+  /// repair passes and the signoff STA) instead of running each as a cold
+  /// full analysis: the netlist mutation journal scopes every re-analysis
+  /// to the edited cone. Reports are byte-identical to fresh check_timing()
+  /// runs (the session's identity contract, gated by tests); StepTimes
+  /// records the full/incremental wall-clock split.
+  bool incremental_timing = true;
   PulsedLatchOptions pulsed_latch;
   TwoPhaseOptions two_phase;
   TimingOptions timing;
@@ -214,6 +221,13 @@ struct StepTimes {
   double sim_s = 0;
   double equiv_s = 0;  // per-stage SEC checkpoints (opt-in)
   double lint_s = 0;   // per-stage rule checks (opt-in)
+
+  /// Split of the STA wall clock hiding inside hold_s and timing_s: time
+  /// spent in full arrival passes vs. incremental dirty-cone patches (zero
+  /// when FlowOptions::incremental_timing is off). Not part of total_s() —
+  /// these seconds are already counted by the stages that spent them.
+  double sta_full_s = 0;
+  double sta_incremental_s = 0;
 
   [[nodiscard]] double total_s() const {
     return synthesis_s + ilp_s + convert_s + retime_s + clock_gating_s +

@@ -276,12 +276,18 @@ NetId Netlist::reset_of(CellId reg) const {
   return it == reset_of_.end() ? NetId{} : it->second;
 }
 
-TouchedSet Netlist::take_touched() {
+TouchedSet Netlist::take_touched() { return take_touched(journal_cursor_); }
+
+TouchedSet Netlist::take_touched(JournalCursor& cursor) const {
   TouchedSet touched;
-  touched.cells = std::move(touched_cells_);
-  touched.nets = std::move(touched_nets_);
-  touched_cells_.clear();
-  touched_nets_.clear();
+  touched.cells.assign(
+      touched_cells_.begin() + static_cast<std::ptrdiff_t>(cursor.cells),
+      touched_cells_.end());
+  touched.nets.assign(
+      touched_nets_.begin() + static_cast<std::ptrdiff_t>(cursor.nets),
+      touched_nets_.end());
+  cursor.cells = touched_cells_.size();
+  cursor.nets = touched_nets_.size();
   const auto canonicalize = [](auto& ids) {
     std::sort(ids.begin(), ids.end(),
               [](auto a, auto b) { return a.value() < b.value(); });

@@ -39,9 +39,16 @@ ScheduleExploration explore_phase_schedule(const Netlist& netlist,
   const std::int64_t period = netlist.clocks().period_ps;
   const std::int64_t step = period / grid_steps;
 
+  // One engine serves the whole grid: only the clock plan changes between
+  // samples, so the levelization, register list, and net loads are built
+  // once and reused (the same probe pattern as find_min_period).
+  SmoEngine engine(library, options, /*track_borrow=*/false);
+  bool first = true;
   auto sample = [&](std::int64_t e1, std::int64_t e2) {
     apply_phase_schedule(probe, e1, e2);
-    const TimingReport report = check_timing(probe, library, options);
+    engine.run_full(probe, /*setup_only=*/true, /*reuse_structure=*/!first);
+    first = false;
+    const TimingReport& report = engine.report();
     ScheduleSample s;
     s.e1_ps = e1;
     s.e2_ps = e2;
@@ -69,6 +76,11 @@ ScheduleExploration explore_phase_schedule(const Netlist& netlist,
                         exploration.best.worst_setup_slack_ps) {
     exploration.best = exploration.uniform;
   }
+  // Min period at the winning schedule (edges scale with the period inside
+  // find_min_period, so the relative split is preserved).
+  apply_phase_schedule(probe, exploration.best.e1_ps, exploration.best.e2_ps);
+  exploration.min_period =
+      find_min_period(probe, library, period / 4, 2 * period, 5, options);
   return exploration;
 }
 

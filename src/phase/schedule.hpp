@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/timing/incremental.hpp"
 #include "src/timing/sta.hpp"
 
 namespace tp {
@@ -26,6 +27,11 @@ struct ScheduleExploration {
   std::vector<ScheduleSample> samples;  // full grid, row-major in (e1, e2)
   ScheduleSample best;                  // max worst-slack sample
   ScheduleSample uniform;               // the Tc/3 reference point
+  /// Min-period search at the best schedule over [Tc/4, 2*Tc]. Structured:
+  /// `feasible == false` means no period in the bracket passes setup (a
+  /// borrowing loop or an impossible schedule), which the old "hi + 1"
+  /// sentinel could not distinguish from a legal period just above hi.
+  MinPeriodResult min_period;
 };
 
 /// Sweeps e1 in (0, Tc), e2 in (e1, Tc) on a `grid_steps`-division grid.

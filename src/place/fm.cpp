@@ -4,11 +4,16 @@
 #include <array>
 #include <numeric>
 
+#include "src/util/executor.hpp"
 #include "src/util/log.hpp"
 #include "src/util/rng.hpp"
 
 namespace tp {
 namespace {
+
+/// Items per chunk when the init scans run on a pool; below this the
+/// submit overhead outweighs the scan.
+constexpr std::size_t kChunkGrain = 4096;
 
 /// Classic FM pass machinery: per-vertex gains in a bucket structure,
 /// tentative moves with locking, best-prefix rollback.
@@ -16,10 +21,12 @@ class FmPass {
  public:
   FmPass(const std::vector<std::int64_t>& weights,
          const std::vector<std::vector<int>>& hyperedges,
-         std::vector<std::uint8_t>& side, double balance_tolerance)
+         std::vector<std::uint8_t>& side, double balance_tolerance,
+         util::Executor* executor)
       : weights_(weights),
         hyperedges_(hyperedges),
         side_(side),
+        executor_(executor),
         num_vertices_(weights.size()) {
     pins_.resize(num_vertices_);
     for (int e = 0; e < static_cast<int>(hyperedges_.size()); ++e) {
@@ -43,23 +50,31 @@ class FmPass {
       if (!side_[v]) w0 += weights_[v];
     }
     std::vector<std::array<int, 2>> edge_count(hyperedges_.size(), {0, 0});
-    for (std::size_t e = 0; e < hyperedges_.size(); ++e) {
-      for (const int v : hyperedges_[e]) {
-        ++edge_count[e][side_[static_cast<std::size_t>(v)]];
-      }
-    }
+    util::parallel_chunks(
+        executor_, hyperedges_.size(), kChunkGrain,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t e = begin; e < end; ++e) {
+            for (const int v : hyperedges_[e]) {
+              ++edge_count[e][side_[static_cast<std::size_t>(v)]];
+            }
+          }
+        });
     // Initial gains: an edge contributes +1 when the vertex is its only pin
     // on its side (moving uncuts it), -1 when the other side is empty
     // (moving cuts it).
     std::vector<std::int64_t> gain(num_vertices_, 0);
-    for (std::size_t v = 0; v < num_vertices_; ++v) {
-      const int from = side_[v];
-      for (const int e : pins_[v]) {
-        const auto& c = edge_count[static_cast<std::size_t>(e)];
-        if (c[from] == 1) ++gain[v];
-        if (c[1 - from] == 0) --gain[v];
-      }
-    }
+    util::parallel_chunks(
+        executor_, num_vertices_, kChunkGrain,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t v = begin; v < end; ++v) {
+            const int from = side_[v];
+            for (const int e : pins_[v]) {
+              const auto& c = edge_count[static_cast<std::size_t>(e)];
+              if (c[from] == 1) ++gain[v];
+              if (c[1 - from] == 0) --gain[v];
+            }
+          }
+        });
 
     std::vector<std::uint8_t> locked(num_vertices_, 0);
     std::vector<int> moves;
@@ -147,21 +162,35 @@ class FmPass {
   const std::vector<std::int64_t>& weights_;
   const std::vector<std::vector<int>>& hyperedges_;
   std::vector<std::uint8_t>& side_;
+  util::Executor* executor_;
   std::size_t num_vertices_;
   std::vector<std::vector<int>> pins_;
   std::int64_t lo_ = 0, hi_ = 0;
 };
 
 std::int64_t cut_size(const std::vector<std::vector<int>>& hyperedges,
-                      const std::vector<std::uint8_t>& side) {
+                      const std::vector<std::uint8_t>& side,
+                      util::Executor* executor) {
+  // Per-chunk partial counts folded in chunk order (integer sums, so the
+  // order is immaterial — kept fixed anyway per the determinism contract).
+  const std::size_t chunks =
+      hyperedges.size() / kChunkGrain + (hyperedges.size() % kChunkGrain != 0);
+  std::vector<std::int64_t> partial(std::max<std::size_t>(chunks, 1), 0);
+  util::parallel_chunks(
+      executor, hyperedges.size(), kChunkGrain,
+      [&](std::size_t begin, std::size_t end) {
+        std::int64_t local = 0;
+        for (std::size_t e = begin; e < end; ++e) {
+          bool s0 = false, s1 = false;
+          for (const int v : hyperedges[e]) {
+            (side[static_cast<std::size_t>(v)] ? s1 : s0) = true;
+          }
+          local += (s0 && s1);
+        }
+        partial[begin / kChunkGrain] = local;
+      });
   std::int64_t cut = 0;
-  for (const auto& edge : hyperedges) {
-    bool s0 = false, s1 = false;
-    for (const int v : edge) {
-      (side[static_cast<std::size_t>(v)] ? s1 : s0) = true;
-    }
-    cut += (s0 && s1);
-  }
+  for (const std::int64_t p : partial) cut += p;
   return cut;
 }
 
@@ -195,10 +224,11 @@ FmResult fm_bipartition(const std::vector<std::int64_t>& weights,
     }
   }
   for (int pass = 0; pass < options.max_passes; ++pass) {
-    FmPass fm(weights, hyperedges, result.side, options.balance_tolerance);
+    FmPass fm(weights, hyperedges, result.side, options.balance_tolerance,
+              options.executor);
     if (fm.run() <= 0) break;
   }
-  result.cut = cut_size(hyperedges, result.side);
+  result.cut = cut_size(hyperedges, result.side, options.executor);
   return result;
 }
 

@@ -8,6 +8,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace tp::util {
+class Executor;
+}  // namespace tp::util
+
 namespace tp {
 
 struct FmOptions {
@@ -15,6 +19,13 @@ struct FmOptions {
   double balance_tolerance = 0.1;
   int max_passes = 6;
   std::uint64_t seed = 1;
+  /// Chunk the pure init scans of each pass (per-edge side counts,
+  /// per-vertex initial gains, the final cut count) across this pool.
+  /// Disjoint per-index writes and chunk-ordered integer sums keep the
+  /// result bit-identical to the serial scan at any thread count; the
+  /// move loop itself is inherently sequential and stays serial. Not
+  /// owned.
+  util::Executor* executor = nullptr;
 };
 
 struct FmResult {

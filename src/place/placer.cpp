@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <future>
 #include <numeric>
 
 #include "src/place/fm.hpp"
-#include "src/util/rng.hpp"
+#include "src/util/executor.hpp"
 
 namespace tp {
 namespace {
@@ -14,6 +16,22 @@ struct Region {
   double x0, y0, x1, y1;
   std::vector<CellId> cells;
 };
+
+/// splitmix64 finalizer: the FM seed of a region is a pure function of the
+/// placer seed and the region's root-to-here path (root 1, children 2p and
+/// 2p+1), NOT of visit order — the property that lets the two halves of a
+/// split recurse in parallel while producing the serial placement bit for
+/// bit.
+std::uint64_t region_seed(std::uint64_t seed, std::uint64_t path) {
+  std::uint64_t z = seed + path * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Both halves must clear this size before the recursion forks; smaller
+/// subtrees finish faster inline than a task round-trip.
+constexpr std::size_t kParallelRegionMin = 2048;
 
 /// Splits `cells` into two area-balanced halves ordered by a BFS over the
 /// connectivity (cheap locality above the FM threshold).
@@ -184,44 +202,59 @@ Placement place(const Netlist& netlist, const CellLibrary& library,
   placement.height_um = die;
   if (cells.empty()) return placement;
 
-  Rng rng(options.seed);
-  std::vector<Region> stack{{0, 0, die, die, std::move(cells)}};
-  while (!stack.empty()) {
-    Region region = std::move(stack.back());
-    stack.pop_back();
-    if (static_cast<int>(region.cells.size()) <= options.leaf_size) {
-      // Grid the leaf cells inside the region.
-      const int cols = static_cast<int>(
-          std::ceil(std::sqrt(static_cast<double>(region.cells.size()))));
-      for (std::size_t i = 0; i < region.cells.size(); ++i) {
-        const int r = static_cast<int>(i) / cols;
-        const int c = static_cast<int>(i) % cols;
-        placement.pos[region.cells[i].value()] = {
-            region.x0 + (region.x1 - region.x0) * (c + 0.5) / cols,
-            region.y0 + (region.y1 - region.y0) * (r + 0.5) / cols};
-      }
-      continue;
-    }
-    const auto halves =
-        static_cast<int>(region.cells.size()) <= options.fm_threshold
-            ? fm_split(netlist, weights, region.cells, rng.next())
-            : connectivity_split(netlist, weights, region.cells);
-    const bool split_x = (region.x1 - region.x0) >= (region.y1 - region.y0);
-    Region a = region, b = region;
-    if (split_x) {
-      const double mid = (region.x0 + region.x1) / 2;
-      a.x1 = mid;
-      b.x0 = mid;
-    } else {
-      const double mid = (region.y0 + region.y1) / 2;
-      a.y1 = mid;
-      b.y0 = mid;
-    }
-    a.cells = std::move(halves.first);
-    b.cells = std::move(halves.second);
-    stack.push_back(std::move(a));
-    stack.push_back(std::move(b));
-  }
+  // Recursive bisection. The two halves of every split touch disjoint
+  // cells (they partition region.cells), so with a pool they recurse as
+  // parallel tasks; seeds are path-derived (see region_seed), making the
+  // result independent of execution order and thread count.
+  const std::function<void(Region, std::uint64_t)> bisect =
+      [&](Region region, std::uint64_t path) {
+        if (static_cast<int>(region.cells.size()) <= options.leaf_size) {
+          // Grid the leaf cells inside the region.
+          const int cols = static_cast<int>(std::ceil(
+              std::sqrt(static_cast<double>(region.cells.size()))));
+          for (std::size_t i = 0; i < region.cells.size(); ++i) {
+            const int r = static_cast<int>(i) / cols;
+            const int c = static_cast<int>(i) % cols;
+            placement.pos[region.cells[i].value()] = {
+                region.x0 + (region.x1 - region.x0) * (c + 0.5) / cols,
+                region.y0 + (region.y1 - region.y0) * (r + 0.5) / cols};
+          }
+          return;
+        }
+        const auto halves =
+            static_cast<int>(region.cells.size()) <= options.fm_threshold
+                ? fm_split(netlist, weights, region.cells,
+                           region_seed(options.seed, path))
+                : connectivity_split(netlist, weights, region.cells);
+        const bool split_x =
+            (region.x1 - region.x0) >= (region.y1 - region.y0);
+        Region a = region, b = region;
+        if (split_x) {
+          const double mid = (region.x0 + region.x1) / 2;
+          a.x1 = mid;
+          b.x0 = mid;
+        } else {
+          const double mid = (region.y0 + region.y1) / 2;
+          a.y1 = mid;
+          b.y0 = mid;
+        }
+        a.cells = std::move(halves.first);
+        b.cells = std::move(halves.second);
+        if (options.executor != nullptr &&
+            a.cells.size() >= kParallelRegionMin &&
+            b.cells.size() >= kParallelRegionMin) {
+          auto future = options.executor->submit(
+              [&bisect, half = std::move(a), path]() mutable {
+                bisect(std::move(half), 2 * path);
+              });
+          bisect(std::move(b), 2 * path + 1);
+          options.executor->wait(std::move(future));
+        } else {
+          bisect(std::move(a), 2 * path);
+          bisect(std::move(b), 2 * path + 1);
+        }
+      };
+  bisect(Region{0, 0, die, die, std::move(cells)}, 1);
   return placement;
 }
 

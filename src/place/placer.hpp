@@ -13,6 +13,10 @@
 #include "src/library/cell_library.hpp"
 #include "src/netlist/netlist.hpp"
 
+namespace tp::util {
+class Executor;
+}  // namespace tp::util
+
 namespace tp {
 
 struct PlaceOptions {
@@ -22,6 +26,13 @@ struct PlaceOptions {
   int fm_threshold = 1500;
   int leaf_size = 8;
   std::uint64_t seed = 1;
+  /// Recurse into the two halves of each bipartition as parallel pool
+  /// tasks (position writes are disjoint — the halves partition the
+  /// cells). Each region's FM seed is derived from `seed` and the
+  /// region's root-to-here path in both the serial and parallel code
+  /// paths, so the placement is bit-identical at any thread count. Not
+  /// owned.
+  util::Executor* executor = nullptr;
 };
 
 struct Placement {

@@ -1,10 +1,12 @@
 #include "src/retime/retime.hpp"
 
 #include <algorithm>
+#include <future>
 #include <unordered_map>
 
 #include "src/netlist/traverse.hpp"
 #include "src/retime/maxflow.hpp"
+#include "src/util/executor.hpp"
 #include "src/util/strcat.hpp"
 
 namespace tp {
@@ -63,7 +65,7 @@ RetimeResult retime_inserted_latches(Netlist& netlist,
   //    data combinational cells. Sinks are consumer pins on registers,
   //    primary outputs, and clock cells (ICG enables).
   std::vector<std::uint8_t> in_region(netlist.num_nets(), 0);
-  {
+  const auto sweep_region = [&] {
     std::vector<NetId> stack;
     for (const auto& [net, gate] : source_gate) {
       (void)gate;
@@ -82,14 +84,14 @@ RetimeResult retime_inserted_latches(Netlist& netlist,
         }
       }
     }
-  }
+  };
 
   // PI taint: a gated latch holds its output while disabled, so moving it
   // past a merge with a primary-input signal would freeze a value the
   // original design recomputes every cycle. Nets with PI contributions are
   // only legal for latches clocked straight from a phase root.
   std::vector<std::uint8_t> pi_taint(netlist.num_nets(), 0);
-  {
+  const auto sweep_taint = [&] {
     std::vector<NetId> stack;
     for (const CellId pi : netlist.data_inputs()) {
       const NetId q = netlist.cell(pi).out;
@@ -108,6 +110,16 @@ RetimeResult retime_inserted_latches(Netlist& netlist,
         }
       }
     }
+  };
+  // The two sweeps read the same frozen netlist and write disjoint arrays,
+  // so they run as a concurrent pair when a pool is available.
+  if (options.executor != nullptr) {
+    auto future = options.executor->submit(sweep_region);
+    sweep_taint();
+    options.executor->wait(std::move(future));
+  } else {
+    sweep_region();
+    sweep_taint();
   }
   std::vector<std::uint8_t> always_on(netlist.num_nets(), 0);
   for (const PhaseWaveform& w : netlist.clocks().phases) {
@@ -259,19 +271,36 @@ RetimeResult retime_inserted_latches(Netlist& netlist,
     seed_tail(NetId{net});
   }
 
-  auto legal = [&](NetId net) {
-    const std::uint32_t gate = gate_label[net.value()];
-    if (gate == kMixedGate) return false;
-    if (pi_taint[net.value()] &&
-        !(gate != kNoGate && always_on[gate])) {
-      return false;
-    }
-    const double d2q =
-        library.delay_ps(CellKind::kLatchH,
-                         library.net_load_ff(netlist, net));
-    return delay_legal[net.value()] &&
-           open_m + d2q + tail[net.value()] <= period - options.margin_ps;
-  };
+  // Candidate evaluation: each region net is an independent latch-position
+  // "move", a pure function of the settled labels above — so the legality
+  // checks run as chunked pool tasks into disjoint slots (identical to the
+  // serial loop at any thread count).
+  std::vector<NetId> region_nets;
+  for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
+    if (in_region[n]) region_nets.push_back(NetId{n});
+  }
+  std::vector<std::uint8_t> position_legal(netlist.num_nets(), 0);
+  util::parallel_chunks(
+      options.executor, region_nets.size(), 2048,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const NetId net = region_nets[i];
+          const std::uint32_t gate = gate_label[net.value()];
+          if (gate == kMixedGate) continue;
+          if (pi_taint[net.value()] &&
+              !(gate != kNoGate && always_on[gate])) {
+            continue;
+          }
+          const double d2q =
+              library.delay_ps(CellKind::kLatchH,
+                               library.net_load_ff(netlist, net));
+          position_legal[net.value()] = static_cast<std::uint8_t>(
+              delay_legal[net.value()] &&
+              open_m + d2q + tail[net.value()] <=
+                  period - options.margin_ps);
+        }
+      });
+  auto legal = [&](NetId net) { return position_legal[net.value()] != 0; };
 
   // 4. Flow network: node-split region nets (split arc = latch position),
   //    infinite structural arcs between nets. A plain min-cut suffices: see

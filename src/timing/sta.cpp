@@ -2,352 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
-
+#include <optional>
 #include <unordered_map>
 
 #include "src/netlist/traverse.hpp"
+#include "src/timing/incremental.hpp"
 #include "src/timing/report.hpp"
 #include "src/util/strcat.hpp"
 
+// The SMO arrival fixpoint itself lives in src/timing/incremental.cpp
+// (SmoEngine): one engine backs the fresh entry points here, the
+// IncrementalTimer session, and find_min_period()'s probe reuse.
+
 namespace tp {
-namespace {
-
-constexpr double kNegInf = -1e18;
-constexpr double kPosInf = 1e18;
-
-/// Transparency window [r, f] of a register inside the cycle. Flip-flops are
-/// zero-width windows at their sampling edge. Transparent-low latches open
-/// at the fall and close at the next rise (f = rise + Tc for rise == 0).
-struct Window {
-  double r = 0;
-  double f = 0;
-};
-
-Window register_window(const Netlist& netlist, const Cell& cell) {
-  const PhaseWaveform* w = netlist.clocks().find(cell.phase);
-  require(w != nullptr, cat("sta: register ", cell.name,
-                            " has no phase waveform (phase ",
-                            phase_name(cell.phase), ")"));
-  const auto period = static_cast<double>(netlist.clocks().period_ps);
-  switch (cell.kind) {
-    case CellKind::kDff:
-    case CellKind::kDffEn:
-    case CellKind::kDffDet:
-      // A DET FF samples on both edges, but behind a kClkDiv2 the clock
-      // toggles once per cycle at the phase rise, so the zero-width window
-      // at the rise models the single per-cycle sampling instant.
-      return {static_cast<double>(w->rise_ps),
-              static_cast<double>(w->rise_ps)};
-    case CellKind::kLatchH:
-    case CellKind::kLatchP:
-      return {static_cast<double>(w->rise_ps),
-              static_cast<double>(w->fall_ps)};
-    case CellKind::kLatchL:
-      return {static_cast<double>(w->fall_ps),
-              static_cast<double>(w->rise_ps) + period};
-    default:
-      throw Error("sta: not a register");
-  }
-}
-
-/// Cycle shift of a launch class relative to a capture close: the intended
-/// capture is the first closing edge strictly after the launcher's own
-/// closing edge (data departing as late as the launch close must still make
-/// the same logical transfer). Same-window pairs (FF-to-FF, pulsed-latch
-/// pairs) therefore shift a full cycle.
-int cycle_shift(double launch_close, double capture_close) {
-  return capture_close > launch_close ? 0 : 1;
-}
-
-struct Analysis {
-  TimingReport report;
-  /// Worst slack per register cell (setup and hold).
-  std::vector<std::pair<CellId, double>> hold_slacks;
-  std::vector<std::pair<CellId, double>> setup_slacks;
-};
-
-/// Per-(class, net) critical fan-in recorded during the max propagate plus
-/// the per-register arrival records — enough to walk launch chains after
-/// the fixpoint (borrow_profile()). Opt-in: tracking costs memory and time
-/// the hot callers (min_period_ps, repair_hold) do not want.
-struct BorrowTrace {
-  std::vector<std::vector<NetId>> pred;  // argmax fan-in net per class
-  std::vector<BorrowRecord> records;
-};
-
-Analysis analyze(const Netlist& netlist, const CellLibrary& library,
-                 const TimingOptions& options,
-                 BorrowTrace* trace = nullptr) {
-  Analysis analysis;
-  TimingReport& report = analysis.report;
-  const auto period = static_cast<double>(netlist.clocks().period_ps);
-  const Levelization lev = levelize(netlist);
-  const std::vector<CellId> registers = netlist.registers();
-
-  // Launch classes: distinct (open, close) register windows plus the
-  // primary-input class (PIs change at cycle start and are FF-like: a
-  // zero-width window at t = 0).
-  std::vector<std::pair<double, double>> classes{{0.0, 0.0}};
-  std::vector<Window> windows(netlist.num_cells());
-  for (const CellId id : registers) {
-    windows[id.value()] = register_window(netlist, netlist.cell(id));
-    classes.push_back({windows[id.value()].r, windows[id.value()].f});
-  }
-  std::sort(classes.begin(), classes.end());
-  classes.erase(std::unique(classes.begin(), classes.end()),
-                classes.end());
-  const std::size_t num_classes = classes.size();
-  auto class_of = [&](const Window& w) {
-    return static_cast<std::size_t>(
-        std::lower_bound(classes.begin(), classes.end(),
-                         std::make_pair(w.r, w.f)) -
-        classes.begin());
-  };
-
-  // Per-class arrival fields over nets.
-  std::vector<std::vector<double>> arr_max(
-      num_classes, std::vector<double>(netlist.num_nets(), kNegInf));
-  std::vector<std::vector<double>> arr_min(
-      num_classes, std::vector<double>(netlist.num_nets(), kPosInf));
-  if (trace != nullptr) {
-    trace->pred.assign(num_classes, std::vector<NetId>(netlist.num_nets()));
-  }
-
-  // Primary-input seeds.
-  const std::size_t pi_class = class_of(Window{0.0, 0.0});
-  for (const CellId pi : netlist.data_inputs()) {
-    const NetId net = netlist.cell(pi).out;
-    arr_max[pi_class][net.value()] = options.input_delay_ps;
-    arr_min[pi_class][net.value()] = options.input_delay_ps;
-  }
-  // Earliest-departure seeds (independent of arrivals: data cannot leave a
-  // register before its window opens).
-  for (const CellId id : registers) {
-    const Cell& cell = netlist.cell(id);
-    const Window& w = windows[id.value()];
-    const double d2q_min = library.params(cell.kind).intrinsic_ps;
-    arr_min[class_of(w)][cell.out.value()] =
-        std::min(arr_min[class_of(w)][cell.out.value()], w.r + d2q_min);
-  }
-
-  auto propagate = [&](std::vector<std::vector<double>>& arr, bool maximize) {
-    for (const CellId id : lev.comb_order) {
-      const Cell& cell = netlist.cell(id);
-      if (is_clock_cell(cell.kind) || !cell.out.valid()) continue;
-      const double delay =
-          maximize ? library.delay_ps(cell.kind,
-                                      library.net_load_ff(netlist, cell.out))
-                   : library.params(cell.kind).intrinsic_ps;
-      for (std::size_t c = 0; c < num_classes; ++c) {
-        double best = maximize ? kNegInf : kPosInf;
-        NetId best_in;
-        for (const NetId in : cell.ins) {
-          const double a = arr[c][in.value()];
-          if (maximize ? a > best : a < best) {
-            best = a;
-            best_in = in;
-          }
-        }
-        if (best <= kNegInf || best >= kPosInf) {
-          arr[c][cell.out.value()] = best;
-        } else {
-          arr[c][cell.out.value()] = best + delay;
-        }
-        if (maximize && trace != nullptr) {
-          trace->pred[c][cell.out.value()] = best_in;
-        }
-      }
-    }
-  };
-
-  // Earliest arrivals: one pass (seeds are fixed).
-  propagate(arr_min, false);
-
-  // Latest arrivals: fixpoint over register departures (time borrowing).
-  std::vector<double> valid(netlist.num_cells(), kNegInf);
-  bool changed = true;
-  int iterations = 0;
-  while (changed && iterations < options.max_iterations) {
-    ++iterations;
-    changed = false;
-    propagate(arr_max, true);
-    for (const CellId id : registers) {
-      const Cell& cell = netlist.cell(id);
-      const Window& w = windows[id.value()];
-      // Pulsed latches are edge-sampled: data launched in the same cycle
-      // cannot flow through, so their cycle alignment keys on the sampling
-      // edge; the setup check still grants the [r, f] borrowing window.
-      const double shift_ref = cell.kind == CellKind::kLatchP ? w.r : w.f;
-      double arrival = kNegInf;
-      for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
-        if (static_cast<int>(pin) == clock_pin(cell.kind)) continue;
-        for (std::size_t c = 0; c < num_classes; ++c) {
-          const double a = arr_max[c][cell.ins[pin].value()];
-          if (a <= kNegInf) continue;
-          arrival = std::max(
-              arrival, a - period * cycle_shift(classes[c].second,
-                                                shift_ref));
-        }
-      }
-      const double d2q =
-          library.delay_ps(cell.kind,
-                           library.net_load_ff(netlist, cell.out));
-      // Borrowing is clamped at the window close: data arriving later does
-      // not pass (the setup check below reports the violation); without the
-      // clamp, failing feedback loops would diverge instead of converging.
-      const double v = std::max(w.r, std::min(arrival, w.f)) + d2q;
-      if (v > valid[id.value()] + 1e-9) {
-        valid[id.value()] = v;
-        const std::size_t c = class_of(w);
-        if (v > arr_max[c][cell.out.value()]) {
-          arr_max[c][cell.out.value()] = v;
-          changed = true;
-        }
-      }
-    }
-  }
-  report.iterations = iterations;
-  report.converged = !changed;
-
-  // Borrow records: per register, the worst capture-frame arrival and the
-  // launching register on the path that produced it. The final propagate
-  // pass of the fixpoint left `trace->pred` consistent with arr_max.
-  if (trace != nullptr) {
-    trace->records.reserve(registers.size());
-    for (const CellId id : registers) {
-      const Cell& cell = netlist.cell(id);
-      const Window& w = windows[id.value()];
-      const double shift_ref = cell.kind == CellKind::kLatchP ? w.r : w.f;
-      BorrowRecord rec;
-      rec.cell = id;
-      rec.open_ps = w.r;
-      rec.close_ps = w.f;
-      double best = kNegInf;
-      std::size_t best_class = 0;
-      NetId best_net;
-      for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
-        if (static_cast<int>(pin) == clock_pin(cell.kind)) continue;
-        for (std::size_t c = 0; c < num_classes; ++c) {
-          const double a = arr_max[c][cell.ins[pin].value()];
-          if (a <= kNegInf) continue;
-          const double shifted =
-              a - period * cycle_shift(classes[c].second, shift_ref);
-          if (shifted > best + 1e-9) {
-            best = shifted;
-            best_class = c;
-            best_net = cell.ins[pin];
-          }
-        }
-      }
-      if (best > kNegInf) {
-        rec.has_arrival = true;
-        rec.arrival_ps = best;
-        rec.borrow_ps = std::max(0.0, std::min(best, w.f) - w.r);
-        // Walk the critical fan-in chain back to the launching register.
-        NetId net = best_net;
-        for (std::size_t step = 0; step <= netlist.num_cells(); ++step) {
-          const CellId drv = netlist.net(net).driver;
-          if (!drv.valid()) break;
-          const Cell& dc = netlist.cell(drv);
-          if (is_register(dc.kind)) {
-            rec.upstream = drv;
-            break;
-          }
-          if (!is_combinational(dc.kind) || is_clock_cell(dc.kind)) break;
-          net = trace->pred[best_class][net.value()];
-          if (!net.valid()) break;
-        }
-      }
-      trace->records.push_back(rec);
-    }
-  }
-
-  // Setup / hold checks at every register.
-  report.setup_ok = true;
-  report.hold_ok = true;
-  report.worst_setup_slack_ps = kPosInf;
-  report.worst_hold_slack_ps = kPosInf;
-  for (const CellId id : registers) {
-    const Cell& cell = netlist.cell(id);
-    const Window& w = windows[id.value()];
-    const CellParams& p = library.params(cell.kind);
-    const double shift_ref =
-        cell.kind == CellKind::kLatchP ? w.r : w.f;
-    double setup_slack_cell = kPosInf;
-    for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
-      if (static_cast<int>(pin) == clock_pin(cell.kind)) continue;
-      const NetId d = cell.ins[pin];
-      double hold_slack = kPosInf;
-      for (std::size_t c = 0; c < num_classes; ++c) {
-        // A launcher with the identical non-zero window is a same-phase
-        // transparent chain (e.g. two p2 latches in series after a merged
-        // retiming cut): data flows through both within the shared window
-        // by design, so there is no previous capture to corrupt. Zero-width
-        // windows (flip-flops) still race and are checked.
-        if (classes[c].first == w.r && classes[c].second == w.f &&
-            w.f > w.r && cell.kind != CellKind::kLatchP) {
-          continue;
-        }
-        const int k = cycle_shift(classes[c].second, shift_ref);
-        const double a_max = arr_max[c][d.value()];
-        if (a_max > kNegInf) {
-          const double slack = (w.f - p.setup_ps) - (a_max - period * k);
-          setup_slack_cell = std::min(setup_slack_cell, slack);
-          if (slack < report.worst_setup_slack_ps) {
-            report.worst_setup_slack_ps = slack;
-            report.worst_setup_point = cell.name;
-          }
-          if (slack < 0) report.setup_ok = false;
-        }
-        const double a_min = arr_min[c][d.value()];
-        if (a_min < kPosInf) {
-          const double slack = (a_min + period * (1 - k)) - w.f -
-                               p.hold_ps - options.hold_uncertainty_ps;
-          hold_slack = std::min(hold_slack, slack);
-        }
-      }
-      if (hold_slack < kPosInf) {
-        analysis.hold_slacks.push_back({id, hold_slack});
-        if (hold_slack < report.worst_hold_slack_ps) {
-          report.worst_hold_slack_ps = hold_slack;
-          report.worst_hold_point = cell.name;
-        }
-        if (hold_slack < 0) report.hold_ok = false;
-      }
-    }
-    if (setup_slack_cell < kPosInf) {
-      analysis.setup_slacks.push_back({id, setup_slack_cell});
-    }
-  }
-
-  // Primary outputs as zero-width capture windows at the cycle boundary.
-  if (options.output_setup_ps >= 0) {
-    for (const CellId po : netlist.outputs()) {
-      if (!netlist.cell(po).alive) continue;
-      const NetId net = netlist.cell(po).ins[0];
-      for (std::size_t c = 0; c < num_classes; ++c) {
-        const double a = arr_max[c][net.value()];
-        if (a <= kNegInf) continue;
-        const double slack = (period - options.output_setup_ps) - a;
-        if (slack < report.worst_setup_slack_ps) {
-          report.worst_setup_slack_ps = slack;
-          report.worst_setup_point = netlist.cell(po).name;
-        }
-        if (slack < 0) report.setup_ok = false;
-      }
-    }
-  }
-  if (report.worst_setup_slack_ps >= kPosInf) report.worst_setup_slack_ps = 0;
-  if (report.worst_hold_slack_ps >= kPosInf) report.worst_hold_slack_ps = 0;
-  return analysis;
-}
-
-}  // namespace
 
 TimingReport check_timing(const Netlist& netlist, const CellLibrary& library,
                           const TimingOptions& options) {
-  return analyze(netlist, library, options).report;
+  SmoEngine engine(library, options, /*track_borrow=*/false);
+  engine.run_full(netlist);
+  return engine.report();
 }
 
 MinDelayProfile min_delay_profile(const Netlist& netlist,
@@ -357,7 +30,7 @@ MinDelayProfile min_delay_profile(const Netlist& netlist,
   const Levelization lev = levelize(netlist);
   const std::vector<CellId> registers = netlist.registers();
 
-  std::vector<Window> windows(netlist.num_cells());
+  std::vector<TransparencyWindow> windows(netlist.num_cells());
   std::vector<std::pair<double, double>> classes{{0.0, 0.0}};
   for (const CellId id : registers) {
     windows[id.value()] = register_window(netlist, netlist.cell(id));
@@ -366,7 +39,7 @@ MinDelayProfile min_delay_profile(const Netlist& netlist,
   std::sort(classes.begin(), classes.end());
   classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
   const std::size_t num_classes = classes.size();
-  auto class_of = [&](const Window& w) {
+  auto class_of = [&](const TransparencyWindow& w) {
     return static_cast<std::size_t>(
         std::lower_bound(classes.begin(), classes.end(),
                          std::make_pair(w.r, w.f)) -
@@ -377,7 +50,7 @@ MinDelayProfile min_delay_profile(const Netlist& netlist,
   for (const auto& [open, close] : classes) {
     prof.classes.push_back({open, close});
   }
-  prof.pi_class = class_of(Window{0.0, 0.0});
+  prof.pi_class = class_of(TransparencyWindow{0.0, 0.0});
   const std::size_t num_nets = netlist.num_nets();
   prof.arrival_ps.assign(
       num_classes,
@@ -391,7 +64,7 @@ MinDelayProfile min_delay_profile(const Netlist& netlist,
   }
   for (const CellId id : registers) {
     const Cell& cell = netlist.cell(id);
-    const Window& w = windows[id.value()];
+    const TransparencyWindow& w = windows[id.value()];
     const std::size_t c = class_of(w);
     const double depart = w.r + library.params(cell.kind).intrinsic_ps;
     if (depart < prof.arrival_ps[c][cell.out.value()]) {
@@ -430,57 +103,26 @@ MinDelayProfile min_delay_profile(const Netlist& netlist,
 std::vector<BorrowRecord> borrow_profile(const Netlist& netlist,
                                          const CellLibrary& library,
                                          const TimingOptions& options) {
-  BorrowTrace trace;
-  analyze(netlist, library, options, &trace);
-  return std::move(trace.records);
-}
-
-std::int64_t min_period_ps(const Netlist& netlist,
-                           const CellLibrary& library, std::int64_t lo_ps,
-                           std::int64_t hi_ps, std::int64_t step_ps,
-                           const TimingOptions& options) {
-  // Scale all waveforms proportionally to a candidate period. The netlist is
-  // copied once; only its clock spec is rewritten per probe.
-  Netlist scaled = netlist;
-  const ClockSpec original = netlist.clocks();
-  require(original.period_ps > 0, "min_period_ps: no clock spec");
-  auto passes = [&](std::int64_t period) {
-    ClockSpec spec = original;
-    spec.period_ps = period;
-    for (PhaseWaveform& w : spec.phases) {
-      w.rise_ps = w.rise_ps * period / original.period_ps;
-      w.fall_ps = w.fall_ps * period / original.period_ps;
-    }
-    scaled.clocks() = spec;
-    const TimingReport r = check_timing(scaled, library, options);
-    return r.converged && r.setup_ok;
-  };
-  if (!passes(hi_ps)) return hi_ps + 1;
-  while (hi_ps - lo_ps > step_ps) {
-    const std::int64_t mid = (lo_ps + hi_ps) / 2;
-    if (passes(mid)) {
-      hi_ps = mid;
-    } else {
-      lo_ps = mid;
-    }
-  }
-  return hi_ps;
+  SmoEngine engine(library, options, /*track_borrow=*/true);
+  engine.run_full(netlist);
+  return engine.borrow_records(netlist);
 }
 
 TimingProfile profile_timing(const Netlist& netlist,
                              const CellLibrary& library,
                              const TimingOptions& options,
                              double bin_width_ps) {
-  const Analysis analysis = analyze(netlist, library, options);
+  SmoEngine engine(library, options, /*track_borrow=*/false);
+  engine.run_full(netlist);
   TimingProfile profile;
   std::unordered_map<std::uint32_t, double> hold_of;
-  for (const auto& [cell, slack] : analysis.hold_slacks) {
+  for (const auto& [cell, slack] : engine.hold_rows()) {
     const auto it = hold_of.find(cell.value());
     if (it == hold_of.end() || slack < it->second) {
       hold_of[cell.value()] = slack;
     }
   }
-  for (const auto& [cell, slack] : analysis.setup_slacks) {
+  for (const auto& [cell, slack] : engine.setup_rows()) {
     EndpointSlack e;
     e.cell = cell;
     e.name = netlist.cell(cell).name;
@@ -522,32 +164,58 @@ TimingProfile profile_timing(const Netlist& netlist,
 }
 
 HoldRepairResult repair_hold(Netlist& netlist, const CellLibrary& library,
-                             const TimingOptions& options, int max_passes) {
+                             const TimingOptions& options, int max_passes,
+                             IncrementalTimer* timer) {
   HoldRepairResult result;
   const double buf_delay =
       library.delay_ps(CellKind::kBuf,
                        library.params(CellKind::kDff).input_cap_ff +
                            library.default_wire_cap_per_fanout_ff());
+  // Without a session, one local engine still runs cold full passes (the
+  // historical behavior); with one, each pass after the first re-times
+  // only the cones of the buffers just inserted.
+  std::optional<SmoEngine> local;
+  if (timer == nullptr) {
+    local.emplace(library, options, /*track_borrow=*/false);
+  }
+  const double full_before = timer != nullptr ? timer->stats().full_seconds : 0;
+  const double incr_before =
+      timer != nullptr ? timer->stats().incremental_seconds : 0;
   for (int pass = 0; pass < max_passes; ++pass) {
-    const Analysis analysis = analyze(netlist, library, options);
+    const std::vector<std::pair<CellId, double>>* rows = nullptr;
+    if (timer != nullptr) {
+      timer->sync(netlist);
+      rows = &timer->hold_rows();
+    } else {
+      local->run_full(netlist);
+      rows = &local->hold_rows();
+    }
     ++result.passes;
     bool any = false;
-    for (const auto& [reg, slack] : analysis.hold_slacks) {
+    for (const auto& [reg, slack] : *rows) {
       if (slack >= 0) continue;
       any = true;
       const int needed = static_cast<int>(std::ceil(-slack / buf_delay));
-      const Cell& cell = netlist.cell(reg);
-      NetId d = cell.ins[0];
+      // Copy before mutating: add_gate may reallocate the cell table.
+      const std::string reg_name = netlist.cell(reg).name;
+      NetId d = netlist.cell(reg).ins[0];
       for (int b = 0; b < needed; ++b) {
         const CellId buf = netlist.add_gate(
             CellKind::kBuf,
-            cat(cell.name, "_holdbuf", pass, "_", b), {d});
+            cat(reg_name, "_holdbuf", pass, "_", b), {d});
         d = netlist.cell(buf).out;
         ++result.buffers_inserted;
       }
       netlist.replace_input(reg, 0, d);
     }
     if (!any) break;
+  }
+  if (timer != nullptr) {
+    result.sta_full_s = timer->stats().full_seconds - full_before;
+    result.sta_incremental_s =
+        timer->stats().incremental_seconds - incr_before;
+  } else {
+    result.sta_full_s = local->stats().full_seconds;
   }
   return result;
 }

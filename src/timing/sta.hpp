@@ -31,6 +31,8 @@
 
 namespace tp {
 
+class IncrementalTimer;  // src/timing/incremental.hpp
+
 struct TimingOptions {
   double hold_uncertainty_ps = 25.0;
   /// External arrival of primary inputs after the cycle start; also gives
@@ -111,26 +113,30 @@ std::vector<BorrowRecord> borrow_profile(const Netlist& netlist,
                                          const CellLibrary& library,
                                          const TimingOptions& options = {});
 
-/// Smallest period (binary search, ps resolution `step_ps`) at which setup
-/// passes, scaling all phase windows proportionally. Returns hi bound + 1
-/// when even `hi_ps` fails.
-std::int64_t min_period_ps(const Netlist& netlist,
-                           const CellLibrary& library,
-                           std::int64_t lo_ps, std::int64_t hi_ps,
-                           std::int64_t step_ps = 5,
-                           const TimingOptions& options = {});
+// The min-period search lives in src/timing/incremental.hpp
+// (find_min_period): it returns a structured MinPeriodResult instead of
+// the old "hi + 1 means infeasible" sentinel and reuses one arrival
+// engine across the binary-search probes.
 
 struct HoldRepairResult {
   int buffers_inserted = 0;
   int passes = 0;
+  /// Wall-clock split of the STA passes spent inside the repair loop
+  /// (feeds StepTimes::sta_full_s / sta_incremental_s).
+  double sta_full_s = 0;
+  double sta_incremental_s = 0;
 };
 
 /// Inserts delay buffers in front of capture-register D pins until hold
 /// passes (or `max_passes` is exhausted). The paper's FF baselines need this
 /// padding more than the latch designs — one source of their combinational
-/// power gap.
+/// power gap. With `timer` given (an IncrementalTimer session following
+/// this netlist), each pass re-times only the cones of the buffers the
+/// previous pass inserted instead of running a cold STA; the timer's own
+/// options govern those passes.
 HoldRepairResult repair_hold(Netlist& netlist, const CellLibrary& library,
                              const TimingOptions& options = {},
-                             int max_passes = 10);
+                             int max_passes = 10,
+                             IncrementalTimer* timer = nullptr);
 
 }  // namespace tp

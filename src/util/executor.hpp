@@ -89,6 +89,25 @@ class Executor {
     return future.get();
   }
 
+  /// Runs `fn(begin, end)` over [0, n) in `grain`-sized chunks as pool
+  /// tasks, joining them before returning (help-first, so it is safe from
+  /// inside a task). Inline fallback: a null `this`-less call cannot exist,
+  /// so callers with an optional pool use the free parallel_chunks() below.
+  /// Determinism contract: chunk boundaries depend only on (n, grain) and
+  /// every index is processed exactly once, so per-index disjoint writes —
+  /// or per-chunk partial results the caller folds in chunk order — are
+  /// bit-identical to the serial `fn(0, n)` at any thread count.
+  template <class F>
+  void for_chunks(std::size_t n, std::size_t grain, const F& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n / std::max<std::size_t>(grain, 1) + 1);
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      const std::size_t end = std::min(n, begin + grain);
+      futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    }
+    for (auto& future : futures) wait(std::move(future));
+  }
+
  private:
   // One deque per worker plus one (index workers_.size()) for external
   // submitters; each guarded by its own mutex. Simple and TSan-clean —
@@ -110,5 +129,19 @@ class Executor {
   std::atomic<std::size_t> pending_{0};
   std::atomic<bool> stop_{false};
 };
+
+/// parallel_chunks(executor, n, grain, fn): Executor::for_chunks with an
+/// optional pool — a null executor (or fewer than two chunks of work) runs
+/// `fn(0, n)` inline. The transform stages call this so a serial build and
+/// a parallel build share one code path and one result.
+template <class F>
+void parallel_chunks(Executor* executor, std::size_t n, std::size_t grain,
+                     const F& fn) {
+  if (executor == nullptr || n <= grain) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  executor->for_chunks(n, grain, fn);
+}
 
 }  // namespace tp::util

@@ -10,6 +10,7 @@
 #include "src/netlist/verilog.hpp"
 #include "src/phase/schedule.hpp"
 #include "src/sim/stimulus.hpp"
+#include "src/timing/incremental.hpp"
 #include "src/timing/sta.hpp"
 #include "src/transform/clock_gating.hpp"
 #include "src/transform/convert.hpp"
@@ -86,11 +87,14 @@ TEST(MinPeriod, ThreePhaseTracksFfWithinBorrowingBounds) {
     ThreePhaseResult converted = to_three_phase(ff);
     retime_inserted_latches(converted.netlist, lib());
 
-    const std::int64_t ff_min = min_period_ps(ff, lib(), 100, 6000);
-    const std::int64_t p3_min =
-        min_period_ps(converted.netlist, lib(), 100, 6000);
-    EXPECT_LE(p3_min, 2 * ff_min) << "seed " << seed;
-    EXPECT_LE(p3_min, 3000) << "seed " << seed;  // meets the design period
+    const MinPeriodResult ff_min = find_min_period(ff, lib(), 100, 6000);
+    const MinPeriodResult p3_min =
+        find_min_period(converted.netlist, lib(), 100, 6000);
+    ASSERT_TRUE(ff_min.feasible) << "seed " << seed;
+    ASSERT_TRUE(p3_min.feasible) << "seed " << seed;
+    EXPECT_LE(p3_min.period_ps, 2 * ff_min.period_ps) << "seed " << seed;
+    EXPECT_LE(p3_min.period_ps, 3000)
+        << "seed " << seed;  // meets the design period
   }
 }
 
@@ -106,8 +110,12 @@ TEST(MinPeriod, SkewedScheduleCanBeatUniform) {
       explore_phase_schedule(converted.netlist, lib(), 8);
   Netlist best = converted.netlist;
   apply_phase_schedule(best, e.best.e1_ps, e.best.e2_ps);
-  EXPECT_LE(min_period_ps(best, lib(), 100, 6000),
-            min_period_ps(converted.netlist, lib(), 100, 6000));
+  const MinPeriodResult skewed = find_min_period(best, lib(), 100, 6000);
+  const MinPeriodResult flat =
+      find_min_period(converted.netlist, lib(), 100, 6000);
+  ASSERT_TRUE(skewed.feasible);
+  ASSERT_TRUE(flat.feasible);
+  EXPECT_LE(skewed.period_ps, flat.period_ps);
 }
 
 TEST(OutputTiming, PoSetupCheckCatchesSlowCones) {

@@ -1,0 +1,259 @@
+// IncrementalTimer session contract: byte-identical reports vs fresh STA
+// under randomized edit sequences on every conversion backend's output,
+// journal-disabled fallback, session statistics, and the structured
+// min-period search (oracle fast path included).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/circuits/benchmark.hpp"
+#include "src/circuits/workload.hpp"
+#include "src/flow/flow.hpp"
+#include "src/phase/schedule.hpp"
+#include "src/timing/incremental.hpp"
+#include "src/timing/sta.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strcat.hpp"
+
+namespace tp {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::nominal_28nm(); }
+
+/// Output netlist of one conversion backend on a small ISCAS benchmark —
+/// the edit-identity tests run on real post-flow structures (latch banks,
+/// ICGs, hold buffers), not toy chains.
+Netlist converted(flow::DesignStyle style) {
+  const circuits::Benchmark bench = circuits::make_benchmark("s1196");
+  const Stimulus stim = circuits::make_stimulus(
+      bench, circuits::Workload::kPaperDefault, 16, 11);
+  return run_flow(bench, style, stim, {}).netlist;
+}
+
+/// Gate retype pairs that keep pin count (morph_cell requirement) while
+/// changing the cell's delay, so every retype moves real arrivals.
+CellKind retype_of(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf: return CellKind::kInv;
+    case CellKind::kInv: return CellKind::kBuf;
+    case CellKind::kAnd2: return CellKind::kNand2;
+    case CellKind::kNand2: return CellKind::kAnd2;
+    case CellKind::kOr2: return CellKind::kNor2;
+    case CellKind::kNor2: return CellKind::kOr2;
+    case CellKind::kXor2: return CellKind::kXnor2;
+    case CellKind::kXnor2: return CellKind::kXor2;
+    default: return kind;
+  }
+}
+
+/// One randomized structural edit; returns a description for failure
+/// messages. Edits mirror the hot callers: buffer insertion (repair_hold),
+/// gate retype (logic restructuring), and clock-plan rescale (the
+/// journal-bypassing fallback path).
+std::string random_edit(Netlist& nl, Rng& rng, int step) {
+  const int kind = static_cast<int>(rng.range(0, 2));
+  if (kind == 2) {
+    // Clock-plan change: clocks() hands out a mutable reference, so this
+    // bypasses the journal and must hit the session's full-pass fallback.
+    ClockSpec spec = nl.clocks();
+    const std::int64_t p = spec.period_ps + 20;
+    for (PhaseWaveform& w : spec.phases) {
+      w.rise_ps = w.rise_ps * p / spec.period_ps;
+      w.fall_ps = w.fall_ps * p / spec.period_ps;
+    }
+    spec.period_ps = p;
+    nl.clocks() = spec;
+    return "clock rescale";
+  }
+  // Pick a live cell with a data input to edit.
+  const std::uint32_t n = nl.num_cells();
+  for (std::uint32_t tries = 0; tries < n; ++tries) {
+    const CellId id{static_cast<std::uint32_t>(rng.range(0, n - 1))};
+    const Cell& cell = nl.cell(id);
+    if (!cell.alive || cell.ins.empty()) continue;
+    if (kind == 1 && retype_of(cell.kind) != cell.kind) {
+      nl.morph_cell(id, retype_of(cell.kind));
+      return cat("retype ", cell.name);
+    }
+    if (kind == 0 && !is_clock_cell(cell.kind)) {
+      std::uint32_t pin = 0;
+      if (static_cast<int>(pin) == clock_pin(cell.kind)) pin = 1;
+      if (pin >= cell.ins.size()) continue;
+      if (nl.net(cell.ins[pin]).is_clock) continue;
+      const std::string name = cell.name;
+      const NetId d = cell.ins[pin];
+      const CellId buf =
+          nl.add_gate(CellKind::kBuf, cat(name, "_e", step), {d});
+      nl.replace_input(id, pin, nl.cell(buf).out);
+      return cat("buffer before ", name);
+    }
+  }
+  return "no-op";
+}
+
+class IncrementalBackend
+    : public ::testing::TestWithParam<flow::DesignStyle> {};
+
+TEST_P(IncrementalBackend, RandomizedEditsMatchFreshSta) {
+  Netlist nl = converted(GetParam());
+  nl.enable_journal();
+  TimingOptions topt;
+  topt.hold_uncertainty_ps = 60;
+  IncrementalTimer timer(lib(), topt);
+  EXPECT_EQ(timing_identity(timer.analyze(nl)),
+            timing_identity(check_timing(nl, lib(), topt)));
+
+  Rng rng(0x5EED + static_cast<std::uint64_t>(GetParam()));
+  for (int step = 0; step < 12; ++step) {
+    const std::string what = random_edit(nl, rng, step);
+    ASSERT_EQ(timing_identity(timer.sync(nl)),
+              timing_identity(check_timing(nl, lib(), topt)))
+        << style_name(GetParam()) << " step " << step << ": " << what;
+  }
+  const SmoEngine::Stats& stats = timer.stats();
+  EXPECT_GT(stats.incremental_runs, 0) << "no edit took the patch path";
+  EXPECT_GT(stats.full_runs, 1) << "clock rescales must fall back";
+}
+
+TEST_P(IncrementalBackend, BorrowRecordsMatchFreshProfile) {
+  Netlist nl = converted(GetParam());
+  nl.enable_journal();
+  TimingOptions topt;
+  IncrementalTimer timer(lib(), topt, /*track_borrow=*/true);
+  timer.analyze(nl);
+  Rng rng(0xB0B + static_cast<std::uint64_t>(GetParam()));
+  for (int step = 0; step < 6; ++step) random_edit(nl, rng, step);
+  timer.sync(nl);
+  EXPECT_EQ(borrow_identity(timer.borrow_records(nl)),
+            borrow_identity(borrow_profile(nl, lib(), topt)))
+      << style_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, IncrementalBackend,
+    ::testing::Values(flow::DesignStyle::kFlipFlop,
+                      flow::DesignStyle::kMasterSlave,
+                      flow::DesignStyle::kThreePhase,
+                      flow::DesignStyle::kPulsedLatch,
+                      flow::DesignStyle::kTwoPhase,
+                      flow::DesignStyle::kDetFf),
+    [](const ::testing::TestParamInfo<flow::DesignStyle>& info) {
+      std::string name(flow::style_name(info.param));
+      // gtest parameter names must be alphanumeric ("M-S" is not).
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+TEST(IncrementalTimer, JournalDisabledFallsBackToFullRuns) {
+  // Raw benchmark netlist — run_flow outputs come back journal-enabled,
+  // so the journal-off path needs a netlist that never saw the flow.
+  // Every sync() must degrade to a fresh analysis and still produce the
+  // identical report.
+  Netlist nl = circuits::make_benchmark("s1196").netlist;
+  ASSERT_FALSE(nl.journal_enabled());
+  TimingOptions topt;
+  IncrementalTimer timer(lib(), topt);
+  timer.analyze(nl);
+  Rng rng(3);
+  for (int step = 0; step < 4; ++step) {
+    random_edit(nl, rng, step);
+    ASSERT_EQ(timing_identity(timer.sync(nl)),
+              timing_identity(check_timing(nl, lib(), topt)))
+        << "step " << step;
+  }
+  EXPECT_EQ(timer.stats().incremental_runs, 0);
+  EXPECT_GE(timer.stats().full_runs, 5);  // analyze + one per sync
+}
+
+TEST(IncrementalTimer, PhaseScheduleMoveFallsBack) {
+  Netlist nl = converted(flow::DesignStyle::kThreePhase);
+  nl.enable_journal();
+  TimingOptions topt;
+  IncrementalTimer timer(lib(), topt);
+  timer.analyze(nl);
+  // Moving the closing edges rewrites every transparency window — the
+  // session must detect the clock-plan change and run full, not patch.
+  const std::int64_t tc = nl.clocks().period_ps;
+  apply_phase_schedule(nl, tc / 4, 5 * tc / 8);
+  EXPECT_EQ(timing_identity(timer.sync(nl)),
+            timing_identity(check_timing(nl, lib(), topt)));
+  EXPECT_EQ(timer.stats().incremental_runs, 0);
+}
+
+/// Brute-force reference: smallest period in [lo, hi] (step granularity,
+/// same proportional waveform scaling) whose fresh report passes setup.
+MinPeriodResult brute_force_min_period(const Netlist& netlist,
+                                       std::int64_t lo, std::int64_t hi,
+                                       std::int64_t step,
+                                       const TimingOptions& topt) {
+  Netlist scaled = netlist;
+  const ClockSpec original = netlist.clocks();
+  MinPeriodResult r;
+  r.period_ps = hi;
+  for (std::int64_t p = lo; p <= hi; p += step) {
+    ClockSpec spec = original;
+    spec.period_ps = p;
+    for (PhaseWaveform& w : spec.phases) {
+      w.rise_ps = w.rise_ps * p / original.period_ps;
+      w.fall_ps = w.fall_ps * p / original.period_ps;
+    }
+    scaled.clocks() = spec;
+    const TimingReport rep = check_timing(scaled, lib(), topt);
+    if (rep.converged && rep.setup_ok) {
+      r.feasible = true;
+      r.period_ps = p;
+      return r;
+    }
+  }
+  return r;
+}
+
+TEST(MinPeriod, InfeasibleBracketIsFlaggedNotSentinel) {
+  // A deep FF-to-FF path cannot pass anywhere in a tiny bracket; the old
+  // convention returned hi + 1, indistinguishable from a legal period one
+  // ps above hi. The structured result must say infeasible explicitly.
+  const Netlist nl = converted(flow::DesignStyle::kFlipFlop);
+  TimingOptions topt;
+  const MinPeriodResult r = find_min_period(nl, lib(), 10, 60, 5, topt);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.period_ps, 60);  // the probed bound, not a sentinel
+  EXPECT_GT(r.probes, 0);
+}
+
+TEST(MinPeriod, MatchesBruteForceOnLatchDesign) {
+  // 3-phase output: transparent windows, borrowing chains, the oracle's
+  // engine-fallback zone. The binary search may settle one step away from
+  // the linear scan (probe grids differ), never more.
+  const Netlist nl = converted(flow::DesignStyle::kThreePhase);
+  TimingOptions topt;
+  const std::int64_t tc = nl.clocks().period_ps;
+  const MinPeriodResult fast =
+      find_min_period(nl, lib(), tc / 4, 2 * tc, 5, topt);
+  const MinPeriodResult ref =
+      brute_force_min_period(nl, tc / 4, 2 * tc, 5, topt);
+  ASSERT_EQ(fast.feasible, ref.feasible);
+  ASSERT_TRUE(fast.feasible);
+  EXPECT_LE(std::abs(fast.period_ps - ref.period_ps), 5)
+      << "binary " << fast.period_ps << " vs scan " << ref.period_ps;
+}
+
+TEST(MinPeriod, OracleAgreesWithEngineOnFfDesign) {
+  // On an FF design every probe should be oracle-decided (no borrowing),
+  // and the result must match the brute-force scan exactly to the step.
+  const Netlist nl = converted(flow::DesignStyle::kFlipFlop);
+  TimingOptions topt;
+  const std::int64_t tc = nl.clocks().period_ps;
+  const MinPeriodResult fast =
+      find_min_period(nl, lib(), tc / 4, 2 * tc, 5, topt);
+  const MinPeriodResult ref =
+      brute_force_min_period(nl, tc / 4, 2 * tc, 5, topt);
+  ASSERT_EQ(fast.feasible, ref.feasible);
+  EXPECT_LE(std::abs(fast.period_ps - ref.period_ps), 5);
+  EXPECT_GT(fast.fast_probes, 0);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/timing/incremental.hpp"
 #include "src/timing/sta.hpp"
 #include "src/transform/clock_gating.hpp"
 #include "src/transform/convert.hpp"
@@ -57,7 +58,9 @@ TEST(Sta, LongChainFailsShortPeriod) {
 
 TEST(Sta, MinPeriodBracketsChainDelay) {
   const Netlist nl = inv_chain_ff(20, 4000);
-  const std::int64_t p = min_period_ps(nl, lib(), 50, 4000);
+  const MinPeriodResult r = find_min_period(nl, lib(), 50, 4000);
+  ASSERT_TRUE(r.feasible);
+  const std::int64_t p = r.period_ps;
   EXPECT_GT(p, 300);    // 20 inverters + clk->q + setup is well over 300
   EXPECT_LT(p, 2500);   // but comfortably under 2.5 ns
   // The returned period passes; slightly less must fail.
